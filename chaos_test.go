@@ -1,0 +1,179 @@
+package corec
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"corec/internal/recovery"
+	"corec/internal/types"
+)
+
+// TestChaosSustainedFailures drives a CoREC cluster through repeated
+// kill/recover cycles while writers update hot objects and readers verify
+// every object's latest committed payload. The injector respects the
+// tolerance envelope (never two concurrent failures in one replication or
+// coding group), so no read may ever fail and no payload may ever be
+// wrong — the paper's "sustained performance in spite of frequent node
+// failures" claim as an executable invariant.
+func TestChaosSustainedFailures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos test skipped in -short mode")
+	}
+	cfg := DefaultConfig(8)
+	cfg.Mode = PolicyCoREC
+	cfg.MTBF = 500 * time.Millisecond
+	cluster, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	const objects = 24
+	ctx := context.Background()
+	client := cluster.NewClient()
+
+	// committed[i] is the latest payload acknowledged for object i.
+	var mu sync.Mutex
+	committed := make(map[int][]byte)
+	boxFor := func(i int) Box {
+		return Box3D(int64(i)*8, 0, 0, int64(i)*8+8, 8, 8)
+	}
+	for i := 0; i < objects; i++ {
+		data := regionData(t, boxFor(i), 8, int64(1000+i))
+		if err := client.Put(ctx, "chaos", boxFor(i), 1, data); err != nil {
+			t.Fatal(err)
+		}
+		committed[i] = data
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	var dead types.ServerID = types.InvalidServer
+	for ts := Version(2); ts <= 14; ts++ {
+		// Fault injection: alternate kill / recover so at most one server
+		// is down at a time (well inside the NLevel=1 envelope).
+		if dead == types.InvalidServer && ts%3 == 2 {
+			dead = types.ServerID(rng.Intn(cluster.NumServers()))
+			cluster.Kill(dead)
+		} else if dead != types.InvalidServer && ts%3 == 1 {
+			srv, err := cluster.Replace(dead)
+			if err != nil {
+				t.Fatalf("ts %d: replace: %v", ts, err)
+			}
+			if _, err := srv.RunRecovery(ctx, recovery.Aggressive); err != nil {
+				t.Fatalf("ts %d: recovery: %v", ts, err)
+			}
+			dead = types.InvalidServer
+		}
+
+		// Rewrite a random hot subset (skipping objects whose primary is
+		// currently dead: those writes would be rejected, as on the real
+		// system).
+		for _, i := range rng.Perm(objects)[:6] {
+			b := boxFor(i)
+			primary := cluster.place.Primary(types.ObjectID{Var: "chaos", Box: b})
+			if primary == dead {
+				continue
+			}
+			data := regionData(t, b, 8, int64(ts)*100+int64(i))
+			if err := client.Put(ctx, "chaos", b, ts, data); err != nil {
+				t.Fatalf("ts %d obj %d: put: %v", ts, i, err)
+			}
+			mu.Lock()
+			committed[i] = data
+			mu.Unlock()
+		}
+
+		// Verify every object's latest committed payload, concurrently.
+		var wg sync.WaitGroup
+		errCh := make(chan error, objects)
+		for i := 0; i < objects; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				got, err := client.Get(ctx, "chaos", boxFor(i), ts)
+				if err != nil {
+					errCh <- err
+					return
+				}
+				mu.Lock()
+				want := committed[i]
+				mu.Unlock()
+				if !bytes.Equal(got, want) {
+					errCh <- errMismatch(i, int(ts))
+				}
+			}(i)
+		}
+		wg.Wait()
+		close(errCh)
+		for err := range errCh {
+			t.Fatalf("ts %d: %v", ts, err)
+		}
+		cluster.EndTimeStep(ts)
+	}
+
+	// Final storage sanity: the constraint should hold once quiesced.
+	rep := cluster.StorageReport()
+	if rep.Efficiency < 0.55 {
+		t.Fatalf("storage efficiency collapsed after chaos: %+v", rep)
+	}
+}
+
+type chaosErr struct{ obj, ts int }
+
+func errMismatch(obj, ts int) error { return &chaosErr{obj, ts} }
+
+func (e *chaosErr) Error() string {
+	return "payload mismatch on object " +
+		string(rune('0'+e.obj%10)) + " at ts " + string(rune('0'+e.ts%10))
+}
+
+// TestChaosDoubleFailureAcrossGroups kills one server in each half of the
+// ring (distinct replication and coding groups) simultaneously and
+// verifies every object remains readable — the grouped-placement property
+// that lets an NLevel=1 deployment survive multi-server incidents.
+func TestChaosDoubleFailureAcrossGroups(t *testing.T) {
+	cfg := DefaultConfig(8)
+	cfg.Mode = PolicyCoREC
+	cluster, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	client := cluster.NewClient()
+	ctx := context.Background()
+
+	const objects = 16
+	boxFor := func(i int) Box {
+		return Box3D(int64(i)*8, 0, 0, int64(i)*8+8, 8, 8)
+	}
+	payloads := make(map[int][]byte)
+	for i := 0; i < objects; i++ {
+		data := regionData(t, boxFor(i), 8, int64(2000+i))
+		if err := client.Put(ctx, "dual", boxFor(i), 1, data); err != nil {
+			t.Fatal(err)
+		}
+		payloads[i] = data
+	}
+	// Cool everything so a mix of replicated and encoded objects exists.
+	for ts := Version(2); ts <= 4; ts++ {
+		cluster.EndTimeStep(ts)
+	}
+
+	// Servers 1 and 5 sit in different replication groups ({0,1} vs {4,5})
+	// and different coding groups ({0..3} vs {4..7}).
+	cluster.Kill(1)
+	cluster.Kill(5)
+	for i := 0; i < objects; i++ {
+		got, err := client.Get(ctx, "dual", boxFor(i), 1)
+		if err != nil {
+			t.Fatalf("object %d unreadable under cross-group double failure: %v", i, err)
+		}
+		if !bytes.Equal(got, payloads[i]) {
+			t.Fatalf("object %d corrupted under cross-group double failure", i)
+		}
+	}
+}

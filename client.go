@@ -1,0 +1,422 @@
+package corec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"corec/internal/geometry"
+	"corec/internal/metrics"
+	"corec/internal/ndarray"
+	"corec/internal/placement"
+	"corec/internal/transport"
+	"corec/internal/types"
+)
+
+var contextBackground = context.Background()
+
+var clientSeq atomic.Int64
+
+// ErrDataLoss is returned by Get when an object cannot be served from any
+// surviving copy or reconstructed from surviving shards (losses exceeded
+// the configured resilience level).
+var ErrDataLoss = errors.New("corec: data unavailable (losses exceed resilience level)")
+
+// Client is an application-side handle to the staging cluster: the
+// interface a simulation or analysis rank uses. Clients are cheap; create
+// one per worker goroutine or share one (all methods are safe for
+// concurrent use).
+type Client struct {
+	cluster *Cluster
+	id      types.ServerID // negative: client address space
+	col     *metrics.Collector
+}
+
+// NewClient returns a client bound to the cluster.
+func (c *Cluster) NewClient() *Client {
+	return &Client{
+		cluster: c,
+		id:      types.ServerID(-1 - clientSeq.Add(1)),
+		col:     c.col,
+	}
+}
+
+// Put stages the region's data under the variable name at the given
+// version (time step). The buffer must be a row-major array over box with
+// the cluster's element size. Oversized regions are geometrically
+// partitioned into objects (Algorithm 1) and staged in parallel. The
+// recorded write response time covers the full operation.
+func (cl *Client) Put(ctx context.Context, name string, box Box, version Version, data []byte) error {
+	c := cl.cluster
+	elem := c.cfg.ElemSize
+	if len(data) != ndarray.BufferSize(box, elem) {
+		return fmt.Errorf("corec: put buffer is %d bytes, want %d", len(data), ndarray.BufferSize(box, elem))
+	}
+	start := time.Now()
+	defer func() { cl.col.RecordWrite(int64(version), time.Since(start)) }()
+
+	maxCells := int64(c.cfg.MaxObjectBytes / elem)
+	pieces, err := geometry.FitPartition(box, maxCells)
+	if err != nil {
+		return err
+	}
+	if len(pieces) == 1 {
+		return cl.putObject(ctx, name, box, version, data)
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, len(pieces))
+	for _, piece := range pieces {
+		buf := make([]byte, ndarray.BufferSize(piece, elem))
+		if _, err := ndarray.CopyRegion(box, data, piece, buf, elem); err != nil {
+			return err
+		}
+		wg.Add(1)
+		go func(piece Box, buf []byte) {
+			defer wg.Done()
+			if err := cl.putObject(ctx, name, piece, version, buf); err != nil {
+				errCh <- err
+			}
+		}(piece, buf)
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh
+}
+
+func (cl *Client) putObject(ctx context.Context, name string, box Box, version Version, data []byte) error {
+	c := cl.cluster
+	id := types.ObjectID{Var: name, Box: box}
+	primary := c.place.Primary(id)
+	msg := &transport.Message{
+		Kind:    transport.MsgPut,
+		Var:     name,
+		Box:     box,
+		Version: version,
+		Data:    data,
+	}
+	resp, err := c.net.Send(ctx, cl.id, primary, msg)
+	if err != nil {
+		return fmt.Errorf("corec: put %s: %w", id, err)
+	}
+	return resp.AsError()
+}
+
+// Get reads the region of the variable at the given version, returning a
+// row-major buffer over box. Objects intersecting the region are located
+// through the metadata directory and fetched in parallel; failures trigger
+// replica fallback or degraded reconstruction transparently.
+func (cl *Client) Get(ctx context.Context, name string, box Box, version Version) ([]byte, error) {
+	start := time.Now()
+	defer func() { cl.col.RecordRead(int64(version), time.Since(start)) }()
+
+	metas, err := cl.queryDirectory(ctx, name, box)
+	if err != nil {
+		return nil, err
+	}
+	elem := cl.cluster.cfg.ElemSize
+	out := make([]byte, ndarray.BufferSize(box, elem))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	for i := range metas {
+		meta := metas[i]
+		if !meta.ID.Box.Intersects(box) {
+			continue
+		}
+		wg.Add(1)
+		go func(meta types.ObjectMeta) {
+			defer wg.Done()
+			data, err := cl.fetchObject(ctx, &meta)
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			mu.Lock()
+			_, cpErr := ndarray.CopyRegion(meta.ID.Box, data, box, out, elem)
+			if cpErr != nil && firstErr == nil {
+				firstErr = cpErr
+			}
+			mu.Unlock()
+		}(meta)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// Query returns the metadata of all staged objects of the variable
+// intersecting the region (deduplicated, newest version per object).
+func (cl *Client) Query(ctx context.Context, name string, box Box) ([]types.ObjectMeta, error) {
+	return cl.queryDirectory(ctx, name, box)
+}
+
+// Delete evicts every staged object of the variable intersecting the
+// region: full copies, replicas, erasure shards and metadata are all
+// released. Returns the number of objects evicted. Applications call this
+// once a time step's data has been consumed, to bound staging memory.
+func (cl *Client) Delete(ctx context.Context, name string, box Box) (int, error) {
+	c := cl.cluster
+	metas, err := cl.queryDirectory(ctx, name, box)
+	if err != nil {
+		return 0, err
+	}
+	deleted := 0
+	var firstErr error
+	for _, m := range metas {
+		if box.Valid() && !m.ID.Box.Intersects(box) {
+			continue
+		}
+		resp, err := c.net.Send(ctx, cl.id, m.Primary, &transport.Message{
+			Kind: transport.MsgDelete, Key: m.ID.Key(),
+		})
+		if err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("corec: delete %s: %w", m.ID, err)
+			}
+			continue
+		}
+		if err := resp.AsError(); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if resp.Flag {
+			deleted++
+		}
+	}
+	return deleted, firstErr
+}
+
+func (cl *Client) queryDirectory(ctx context.Context, name string, box Box) ([]types.ObjectMeta, error) {
+	c := cl.cluster
+	start := time.Now()
+	defer func() { cl.col.Add(metrics.Metadata, time.Since(start)) }()
+	type result struct {
+		metas []types.ObjectMeta
+		err   error
+	}
+	n := c.cfg.Servers
+	results := make(chan result, n)
+	for i := 0; i < n; i++ {
+		go func(target types.ServerID) {
+			msg := &transport.Message{Kind: transport.MsgMetaQuery, Var: name, Box: box}
+			resp, err := c.net.Send(ctx, cl.id, target, msg)
+			if err != nil {
+				results <- result{err: err}
+				return
+			}
+			results <- result{metas: resp.Metas}
+		}(types.ServerID(i))
+	}
+	best := make(map[string]types.ObjectMeta)
+	reachable := 0
+	for i := 0; i < n; i++ {
+		r := <-results
+		if r.err != nil {
+			continue
+		}
+		reachable++
+		for _, m := range r.metas {
+			key := m.ID.Key()
+			if cur, ok := best[key]; !ok || m.Version > cur.Version {
+				best[key] = m
+			}
+		}
+	}
+	if reachable == 0 {
+		return nil, fmt.Errorf("corec: no directory shard reachable")
+	}
+	out := make([]types.ObjectMeta, 0, len(best))
+	for _, m := range best {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID.Key() < out[j].ID.Key() })
+	return out, nil
+}
+
+// fetchObject retrieves one object's payload following its resilience
+// state: full copies (primary, then replicas) for replicated objects;
+// systematic shard gather, with degraded reconstruction on failure, for
+// encoded objects. A fetch can race the background replicated<->encoded
+// transition: on a miss the client refetches the object's metadata and
+// retries through the new state before declaring data loss.
+func (cl *Client) fetchObject(ctx context.Context, meta *types.ObjectMeta) ([]byte, error) {
+	var lastErr error
+	for attempt := 0; attempt < 10; attempt++ {
+		var data []byte
+		var err error
+		switch meta.State {
+		case types.StateEncoded:
+			data, err = cl.fetchEncoded(ctx, meta)
+		default:
+			data, err = cl.fetchReplicated(ctx, meta)
+		}
+		if err == nil {
+			return data, nil
+		}
+		lastErr = err
+		if !errors.Is(err, ErrDataLoss) {
+			return nil, err
+		}
+		// Back off briefly: a state transition (encode commit, promotion,
+		// failover) may be mid-flight; the directory converges quickly.
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-time.After(time.Duration(attempt+1) * 200 * time.Microsecond):
+		}
+		fresh, ok := cl.lookupMeta(ctx, meta.ID.Key())
+		if !ok {
+			continue
+		}
+		meta = fresh
+	}
+	return nil, lastErr
+}
+
+// lookupMeta fetches a single object's metadata record from its shard
+// group.
+func (cl *Client) lookupMeta(ctx context.Context, key string) (*types.ObjectMeta, bool) {
+	c := cl.cluster
+	start := time.Now()
+	defer func() { cl.col.Add(metrics.Metadata, time.Since(start)) }()
+	group := placement.DirectoryGroup(c.place.DirectoryShard(key), c.cfg.Servers, c.cfg.NLevel)
+	for _, t := range group {
+		resp, err := c.net.Send(ctx, cl.id, t, &transport.Message{Kind: transport.MsgMetaLookup, Key: key})
+		if err == nil && resp.Kind == transport.MsgOK && resp.Flag {
+			return resp.Meta, true
+		}
+	}
+	return nil, false
+}
+
+func (cl *Client) fetchReplicated(ctx context.Context, meta *types.ObjectMeta) ([]byte, error) {
+	c := cl.cluster
+	key := meta.ID.Key()
+	for _, target := range meta.Locations() {
+		resp, err := c.net.Send(ctx, cl.id, target, &transport.Message{Kind: transport.MsgGet, Key: key})
+		if err != nil || resp.Kind != transport.MsgGetBytes || !resp.Flag {
+			continue
+		}
+		return resp.Data, nil
+	}
+	return nil, fmt.Errorf("%w: %s", ErrDataLoss, key)
+}
+
+func (cl *Client) fetchEncoded(ctx context.Context, meta *types.ObjectMeta) ([]byte, error) {
+	c := cl.cluster
+	info, ok := cl.lookupStripe(ctx, meta.Stripe)
+	if !ok {
+		return nil, fmt.Errorf("%w: stripe %v metadata missing", ErrDataLoss, meta.Stripe)
+	}
+	shards := make([][]byte, info.K+info.M)
+	have := 0
+	var missingData bool
+	// Systematic fast path: the k data shards, in parallel.
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for _, member := range info.Members {
+		if member.Index >= info.K {
+			continue
+		}
+		wg.Add(1)
+		go func(member types.StripeMember) {
+			defer wg.Done()
+			b, ok := cl.fetchShard(ctx, info.ID, member)
+			mu.Lock()
+			defer mu.Unlock()
+			if ok {
+				shards[member.Index] = b
+				have++
+			} else {
+				missingData = true
+			}
+		}(member)
+	}
+	wg.Wait()
+	if missingData {
+		// Degraded read: pull parity shards and reconstruct the data.
+		for _, member := range info.Members {
+			if have >= info.K {
+				break
+			}
+			if member.Index < info.K || shards[member.Index] != nil {
+				continue
+			}
+			if b, ok := cl.fetchShard(ctx, info.ID, member); ok {
+				shards[member.Index] = b
+				have++
+			}
+		}
+		if have < info.K {
+			return nil, fmt.Errorf("%w: stripe %v has %d of %d shards", ErrDataLoss, info.ID, have, info.K)
+		}
+		dStart := time.Now()
+		if err := c.codec.ReconstructData(shards); err != nil {
+			return nil, err
+		}
+		cl.col.Add(metrics.Decode, time.Since(dStart))
+		// Lazy recovery on access: if a replacement server has taken over
+		// a dead member's ID, ask it to repair this object now.
+		cl.triggerOnAccessRepair(ctx, info, meta.ID.Key())
+	}
+	return c.codec.Join(shards, meta.Size)
+}
+
+// lookupStripe resolves stripe geometry from the directory pair.
+func (cl *Client) lookupStripe(ctx context.Context, id types.StripeID) (*types.StripeInfo, bool) {
+	c := cl.cluster
+	start := time.Now()
+	defer func() { cl.col.Add(metrics.Metadata, time.Since(start)) }()
+	key := id.String()
+	group := placement.DirectoryGroup(c.place.DirectoryShard(key), c.cfg.Servers, c.cfg.NLevel)
+	for _, t := range group {
+		resp, err := c.net.Send(ctx, cl.id, t, &transport.Message{Kind: transport.MsgStripeLookup, Stripe: id})
+		if err == nil && resp.Kind == transport.MsgOK && resp.Flag {
+			return resp.StripeInfo, true
+		}
+	}
+	return nil, false
+}
+
+func (cl *Client) fetchShard(ctx context.Context, id types.StripeID, member types.StripeMember) ([]byte, bool) {
+	resp, err := cl.cluster.net.Send(ctx, cl.id, member.Server, &transport.Message{
+		Kind: transport.MsgShardGet, Stripe: id, ShardIndex: member.Index,
+	})
+	if err != nil || resp.Kind != transport.MsgGetBytes || !resp.Flag {
+		return nil, false
+	}
+	return resp.Data, true
+}
+
+// triggerOnAccessRepair asks stripe members that answered "shard missing"
+// (replacement servers still recovering) to repair this object immediately:
+// the on-access half of lazy recovery.
+func (cl *Client) triggerOnAccessRepair(ctx context.Context, info *types.StripeInfo, key string) {
+	c := cl.cluster
+	for _, member := range info.Members {
+		if !c.Alive(member.Server) {
+			continue
+		}
+		srv := c.Server(member.Server)
+		if srv == nil || srv.RepairQueueLen() == 0 {
+			continue
+		}
+		member := member
+		go func() {
+			c.net.Send(context.Background(), cl.id, member.Server, //nolint:errcheck
+				&transport.Message{Kind: transport.MsgRecover, Key: key})
+		}()
+	}
+}

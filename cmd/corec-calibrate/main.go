@@ -1,0 +1,132 @@
+// Command corec-calibrate measures this machine's staging primitives —
+// fabric round-trip, replica push, erasure encode/decode throughput — and
+// expresses them as the Section II-D model parameters (l, c, alpha), so
+// the analytic curves of Figure 4 can be evaluated at the host's real
+// operating point:
+//
+//	corec-calibrate [-size 262144] [-k 3] [-m 1]
+//	corec-model -l <l> -c <c> -alpha <alpha>     # then feed them back
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"corec"
+	"corec/internal/erasure"
+	"corec/internal/ndarray"
+	"corec/internal/simnet"
+	"corec/internal/transport"
+)
+
+func main() {
+	size := flag.Int("size", 256<<10, "object size in bytes")
+	k := flag.Int("k", 3, "Reed-Solomon data shards")
+	m := flag.Int("m", 1, "Reed-Solomon parity shards")
+	iters := flag.Int("iters", 50, "measurement iterations")
+	flag.Parse()
+
+	if err := run(*size, *k, *m, *iters); err != nil {
+		fmt.Fprintf(os.Stderr, "corec-calibrate: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(size, k, m, iters int) error {
+	// 1. Fabric round-trip latency (l): ping over the in-process fabric
+	//    with the calibrated link model.
+	net := transport.NewInProc(simnet.Titan(1))
+	net.Register(0, func(ctx context.Context, req *transport.Message) *transport.Message {
+		return transport.Ok()
+	})
+	ctx := context.Background()
+	l := measure(iters, func() {
+		net.Send(ctx, -1, 0, &transport.Message{Kind: transport.MsgPing}) //nolint:errcheck
+	})
+
+	// 2. Streaming transfer cost (c): move one object through the fabric.
+	payload := make([]byte, size)
+	rand.New(rand.NewSource(1)).Read(payload)
+	net.Register(1, func(ctx context.Context, req *transport.Message) *transport.Message {
+		return transport.Ok()
+	})
+	c := measure(iters, func() {
+		net.Send(ctx, -1, 1, &transport.Message{Kind: transport.MsgReplicaPut, Data: payload}) //nolint:errcheck
+	}) - l
+	if c < 0 {
+		c = 0
+	}
+
+	// 3. Encode cost: RS(k+m,k) over the object; alpha is the residual
+	//    per-(NLevel*NNode) compute after latency terms.
+	codec, err := erasure.New(k, m)
+	if err != nil {
+		return err
+	}
+	shards, _ := codec.Split(payload)
+	enc := measure(iters, func() {
+		codec.Encode(shards) //nolint:errcheck
+	})
+
+	// 4. Decode (reconstruction) cost for one lost data shard.
+	dec := measure(iters, func() {
+		lossy := make([][]byte, len(shards))
+		copy(lossy, shards)
+		lossy[0] = nil
+		codec.Reconstruct(lossy) //nolint:errcheck
+	})
+
+	// 5. End-to-end staged write for context: one put through a live
+	//    CoREC cluster.
+	cfg := corec.DefaultConfig(8)
+	cfg.Link = simnet.Titan(1) // same fabric model as the l/c probes
+	cluster, err := corec.NewCluster(cfg)
+	if err != nil {
+		return err
+	}
+	defer cluster.Close()
+	client := cluster.NewClient()
+	edge := int64(1)
+	for edge*edge*edge*8 < int64(size) {
+		edge *= 2
+	}
+	box := corec.Box3D(0, 0, 0, edge, edge, edge)
+	buf := make([]byte, ndarray.BufferSize(box, 8))
+	put := measureN(iters, func(i int) {
+		client.Put(ctx, "cal", box, corec.Version(i+1), buf) //nolint:errcheck
+	})
+
+	alpha := float64(enc-c-l) / float64(m*k)
+	if alpha < 0 {
+		alpha = 0
+	}
+	unit := float64(time.Microsecond)
+	fmt.Printf("calibration for %d KiB objects, RS(%d+%d), %d iterations:\n", size>>10, k, m, iters)
+	fmt.Printf("  fabric round trip  (l)     : %v\n", l.Round(time.Microsecond))
+	fmt.Printf("  object transfer    (c)     : %v\n", c.Round(time.Microsecond))
+	fmt.Printf("  full stripe encode         : %v  (%.1f MB/s)\n",
+		enc.Round(time.Microsecond), float64(size)/enc.Seconds()/1e6)
+	fmt.Printf("  one-loss reconstruct       : %v\n", dec.Round(time.Microsecond))
+	fmt.Printf("  staged CoREC put (8 srv)   : %v\n", put.Round(time.Microsecond))
+	fmt.Printf("\nmodel parameters (microsecond units):\n")
+	fmt.Printf("  corec-model -l %.3f -c %.3f -alpha %.3f -nnode %d -nlevel %d\n",
+		float64(l)/unit, float64(c)/unit, alpha/unit, k, m)
+	return nil
+}
+
+func measure(iters int, f func()) time.Duration {
+	return measureN(iters, func(int) { f() })
+}
+
+func measureN(iters int, f func(int)) time.Duration {
+	f(0) // warm-up
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		f(i + 1)
+	}
+	return time.Since(start) / time.Duration(iters)
+}

@@ -1,0 +1,64 @@
+// Command corec-model evaluates the Section II-D analytic cost model and
+// prints the Figure 4 curves as CSV, with every model parameter adjustable
+// from the command line.
+//
+// Usage:
+//
+//	corec-model [-nlevel 1] [-nnode 3] [-fhot 10] [-fcold 1] [-s 0.67]
+//	            [-l 1.0] [-c 0.2] [-alpha 1.0] [-samples 41] [-miss 0,0.2,0.4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"corec/internal/model"
+)
+
+func main() {
+	p := model.Default()
+	flag.IntVar(&p.NLevel, "nlevel", p.NLevel, "resilience level (replicas / parity count)")
+	flag.IntVar(&p.NNode, "nnode", p.NNode, "data objects per stripe (k)")
+	flag.Float64Var(&p.FHot, "fhot", p.FHot, "hot-object update frequency")
+	flag.Float64Var(&p.FCold, "fcold", p.FCold, "cold-object update frequency")
+	flag.Float64Var(&p.S, "s", p.S, "storage-efficiency constraint S (0 disables)")
+	flag.Float64Var(&p.L, "l", p.L, "per-object transfer latency l")
+	flag.Float64Var(&p.C, "c", p.C, "per-object streaming cost c")
+	flag.Float64Var(&p.Alpha, "alpha", p.Alpha, "encoding computation coefficient")
+	samples := flag.Int("samples", 41, "points along the hot-fraction axis")
+	missFlag := flag.String("miss", "0,0.2,0.4", "comma-separated classifier miss ratios")
+	flag.Parse()
+
+	var missRatios []float64
+	for _, f := range strings.Split(*missFlag, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "corec-model: bad miss ratio %q: %v\n", f, err)
+			os.Exit(1)
+		}
+		missRatios = append(missRatios, v)
+	}
+	pts, err := model.Fig4Curves(p, missRatios, *samples)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "corec-model: %v\n", err)
+		os.Exit(1)
+	}
+	// CSV header.
+	fmt.Print("p_h,replica,erasure,hybrid")
+	for _, rm := range missRatios {
+		fmt.Printf(",corec_rm%.2g", rm)
+	}
+	fmt.Println()
+	for _, pt := range pts {
+		fmt.Printf("%.4f,%.6f,%.6f,%.6f", pt.Ph, pt.Replica, pt.Erasure, pt.Hybrid)
+		for _, v := range pt.CoREC {
+			fmt.Printf(",%.6f", v)
+		}
+		fmt.Println()
+	}
+	fmt.Fprintf(os.Stderr, "E_r=%.3f E_e=%.3f C_r=%.3f C_e=%.3f P_r(constraint)=%.4f\n",
+		p.Er(), p.Ee(), p.Cr(), p.Ce(), p.PrConstraint())
+}

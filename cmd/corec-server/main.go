@@ -1,0 +1,77 @@
+// Command corec-server hosts a CoREC staging service over TCP: all staging
+// servers run in this process, each on its own listener, and the address
+// map is written to a JSON file that corec-cli (or any NewRemoteCluster
+// embedder) consumes.
+//
+// Usage:
+//
+//	corec-server [-servers 8] [-mode corec] [-addr-file corec-addrs.json]
+//	             [-host 127.0.0.1] [-nlevel 1] [-k 3] [-s 0.67]
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"flag"
+
+	"corec"
+	"corec/internal/policy"
+)
+
+func main() {
+	servers := flag.Int("servers", 8, "number of staging servers")
+	modeName := flag.String("mode", "corec", "resilience policy: none, replicate, erasure, hybrid, corec")
+	addrFile := flag.String("addr-file", "corec-addrs.json", "where to write the server address map")
+	host := flag.String("host", "127.0.0.1", "bind host")
+	nlevel := flag.Int("nlevel", 1, "failures to tolerate")
+	k := flag.Int("k", 3, "Reed-Solomon data shards")
+	s := flag.Float64("s", 0.67, "storage efficiency constraint")
+	flag.Parse()
+
+	mode, err := policy.ParseMode(*modeName)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := corec.DefaultConfig(*servers)
+	cfg.Mode = mode
+	cfg.NLevel = *nlevel
+	cfg.DataShards = *k
+	cfg.StorageEfficiencyMin = *s
+	cfg.Transport = "tcp"
+	cfg.ListenHost = *host
+
+	cluster, err := corec.NewCluster(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	defer cluster.Close()
+
+	addrs := cluster.ServerAddrs()
+	data, err := json.MarshalIndent(addrs, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*addrFile, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("corec-server: %d servers up (%s policy); address map in %s\n",
+		*servers, mode, *addrFile)
+	for id, addr := range addrs {
+		fmt.Printf("  server %d -> %s\n", id, addr)
+	}
+	fmt.Println("press Ctrl-C to stop")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	<-sig
+	fmt.Println("\nshutting down")
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "corec-server: %v\n", err)
+	os.Exit(1)
+}

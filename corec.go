@@ -1,0 +1,522 @@
+// Package corec is a resilient in-memory data-staging runtime for in-situ
+// HPC workflows, reproducing the CoREC system ("Scalable Data Resilience
+// for In-Memory Data Staging", IPDPS 2018).
+//
+// A Cluster hosts a set of staging servers over a message fabric. Clients
+// put and get n-dimensional array regions of named variables, versioned by
+// simulation time step. The cluster keeps staged data available across
+// server failures using a hybrid of replication (for write-hot data) and
+// Reed-Solomon erasure coding (for write-cold data), driven by an online
+// access-pattern classifier, with grouped failure-domain-aware placement, a
+// load-balancing conflict-avoiding encoding workflow, and degraded/lazy
+// recovery.
+//
+// Quick start:
+//
+//	cfg := corec.DefaultConfig(8)
+//	cluster, _ := corec.NewCluster(cfg)
+//	defer cluster.Close()
+//	client := cluster.NewClient()
+//	client.Put(ctx, "temp", box, 1, data)
+//	got, _ := client.Get(ctx, "temp", box, 1)
+package corec
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"corec/internal/classifier"
+	"corec/internal/erasure"
+	"corec/internal/geometry"
+	"corec/internal/metrics"
+	"corec/internal/placement"
+	"corec/internal/policy"
+	"corec/internal/recovery"
+	"corec/internal/server"
+	"corec/internal/simnet"
+	"corec/internal/topology"
+	"corec/internal/transport"
+	"corec/internal/types"
+)
+
+// Re-exported aliases so applications need only this package for common
+// use. The internal packages stay importable inside the module for tests
+// and the benchmark harness.
+type (
+	// Box is an n-dimensional region (inclusive lower, exclusive upper).
+	Box = geometry.Box
+	// ObjectID identifies a staged object.
+	ObjectID = types.ObjectID
+	// ServerID identifies a staging server.
+	ServerID = types.ServerID
+	// Version is a data version (simulation time step).
+	Version = types.Version
+	// Mode selects the resilience policy.
+	Mode = policy.Mode
+	// RecoveryMode selects lazy or aggressive recovery.
+	RecoveryMode = recovery.Mode
+	// LinkModel configures the fabric cost model.
+	LinkModel = simnet.LinkModel
+	// Snapshot is a metrics snapshot.
+	Snapshot = metrics.Snapshot
+)
+
+// Policy modes, re-exported.
+const (
+	PolicyNone      = policy.None
+	PolicyReplicate = policy.Replicate
+	PolicyErasure   = policy.Erasure
+	PolicyHybrid    = policy.Hybrid
+	PolicyCoREC     = policy.CoREC
+)
+
+// Recovery modes, re-exported.
+const (
+	RecoveryLazy       = recovery.Lazy
+	RecoveryAggressive = recovery.Aggressive
+)
+
+// Box3D builds a 3-dimensional box.
+func Box3D(x0, y0, z0, x1, y1, z1 int64) Box { return geometry.Box3D(x0, y0, z0, x1, y1, z1) }
+
+// Config assembles a staging cluster.
+type Config struct {
+	// Servers is the number of staging servers (> 0).
+	Servers int
+	// Cabinets is the number of failure domains the servers spread over.
+	// Defaults to min(Servers, 4).
+	Cabinets int
+	// Mode selects the resilience policy. Default PolicyCoREC.
+	Mode Mode
+	// NLevel is the number of simultaneous server failures to tolerate
+	// (replica count and parity count). Default 1.
+	NLevel int
+	// DataShards is the Reed-Solomon k. Parity count m equals NLevel.
+	// DataShards+NLevel must divide Servers (coding groups tile the ring).
+	// Default 3.
+	DataShards int
+	// StorageEfficiencyMin is the paper's constraint S (0 disables).
+	// Default 0.67 (Table I).
+	StorageEfficiencyMin float64
+	// Domain bounds the staged data space; used by the classifier's
+	// spatial rule. Default 256^3.
+	Domain Box
+	// Link is the fabric cost model. Zero value = free network.
+	Link LinkModel
+	// RecoveryMode selects lazy (default) or aggressive recovery.
+	RecoveryMode RecoveryMode
+	// MTBF parameterizes the lazy recovery deadline. Default 40s (scaled
+	// experiment time).
+	MTBF time.Duration
+	// MaxObjectBytes caps object payloads; larger puts are geometrically
+	// partitioned (Algorithm 1). Default 4 MiB.
+	MaxObjectBytes int
+	// ElemSize is the array element size in bytes. Default 8 (float64).
+	ElemSize int
+	// HelperLoadDelta tunes encode delegation; negative disables. Default 2.
+	HelperLoadDelta int64
+	// Construction selects the Reed-Solomon generator family:
+	// erasure.Vandermonde (default) or erasure.Cauchy. Both are systematic
+	// MDS codes; all servers and clients of one cluster must agree.
+	Construction erasure.Construction
+	// Transport selects the fabric: "inproc" (default) or "tcp". TCP runs
+	// every server on its own listener (see ListenHost) so the staging
+	// service can span processes; the in-process fabric applies the Link
+	// cost model and is what the experiments use.
+	Transport string
+	// ListenHost is the bind host for TCP transports. Default "127.0.0.1".
+	ListenHost string
+	// Classifier tunes CoREC classification; zero value gets defaults over
+	// Domain.
+	Classifier classifier.Config
+	// Seed drives the hybrid policy's randomness.
+	Seed int64
+}
+
+// DefaultConfig returns a CoREC cluster configuration over n servers
+// matching the paper's Table I parameters (RS(3+1), 1 replica, S = 67%).
+func DefaultConfig(n int) Config {
+	return Config{
+		Servers:              n,
+		Mode:                 PolicyCoREC,
+		NLevel:               1,
+		DataShards:           3,
+		StorageEfficiencyMin: 0.67,
+		Domain:               Box3D(0, 0, 0, 256, 256, 256),
+		RecoveryMode:         RecoveryLazy,
+		MTBF:                 40 * time.Second,
+		MaxObjectBytes:       4 << 20,
+		ElemSize:             8,
+		HelperLoadDelta:      2,
+	}
+}
+
+func (c *Config) withDefaults() Config {
+	out := *c
+	if out.Cabinets == 0 {
+		out.Cabinets = 4
+		if out.Servers < 4 {
+			out.Cabinets = out.Servers
+		}
+	}
+	if out.NLevel == 0 {
+		out.NLevel = 1
+	}
+	if out.DataShards == 0 {
+		out.DataShards = 3
+	}
+	if !out.Domain.Valid() {
+		out.Domain = Box3D(0, 0, 0, 256, 256, 256)
+	}
+	if out.MTBF == 0 {
+		out.MTBF = 40 * time.Second
+	}
+	if out.MaxObjectBytes == 0 {
+		out.MaxObjectBytes = 4 << 20
+	}
+	if out.ElemSize == 0 {
+		out.ElemSize = 8
+	}
+	if out.HelperLoadDelta == 0 {
+		out.HelperLoadDelta = 2
+	}
+	return out
+}
+
+// Cluster is a running staging service: servers, fabric, shared metrics.
+type Cluster struct {
+	cfg     Config
+	net     transport.Network
+	top     *topology.Topology
+	groups  *topology.Groups
+	place   placement.Placement
+	col     *metrics.Collector
+	codec   *erasure.Codec
+	polCfg  policy.Config
+	mu      sync.Mutex
+	servers map[types.ServerID]*server.Server
+}
+
+// NewCluster builds and starts an in-process staging cluster.
+func NewCluster(cfg Config) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Servers <= 0 {
+		return nil, fmt.Errorf("corec: server count must be positive")
+	}
+	top, err := topology.Uniform(cfg.Servers, cfg.Cabinets)
+	if err != nil {
+		return nil, err
+	}
+	replicaSize := cfg.NLevel + 1
+	codingSize := cfg.DataShards + cfg.NLevel
+	if cfg.Mode == PolicyNone {
+		// Group geometry is irrelevant without resilience, but the
+		// constructor demands divisibility; degrade gracefully.
+		replicaSize, codingSize = 1, 2
+		for cfg.Servers%codingSize != 0 && codingSize < cfg.Servers {
+			codingSize++
+		}
+		if cfg.Servers%codingSize != 0 {
+			codingSize = cfg.Servers
+		}
+	}
+	groups, err := topology.NewGroups(top, replicaSize, codingSize)
+	if err != nil {
+		return nil, err
+	}
+	var net transport.Network
+	switch cfg.Transport {
+	case "", "inproc":
+		net = transport.NewInProc(cfg.Link)
+	case "tcp":
+		host := cfg.ListenHost
+		if host == "" {
+			host = "127.0.0.1"
+		}
+		net = transport.NewTCPNetwork(host)
+	default:
+		return nil, fmt.Errorf("corec: unknown transport %q", cfg.Transport)
+	}
+	place := placement.NewHash(cfg.Servers)
+	col := metrics.NewCollector()
+	polCfg := policy.Config{
+		Mode:                 cfg.Mode,
+		NLevel:               cfg.NLevel,
+		K:                    cfg.DataShards,
+		M:                    cfg.NLevel,
+		StorageEfficiencyMin: cfg.StorageEfficiencyMin,
+		Seed:                 cfg.Seed,
+	}
+	var codec *erasure.Codec
+	if cfg.Mode != PolicyNone {
+		codec, err = erasure.NewWithConstruction(cfg.DataShards, cfg.NLevel, cfg.Construction)
+		if err != nil {
+			return nil, err
+		}
+	}
+	c := &Cluster{
+		cfg:     cfg,
+		net:     net,
+		top:     top,
+		groups:  groups,
+		place:   place,
+		col:     col,
+		codec:   codec,
+		polCfg:  polCfg,
+		servers: make(map[types.ServerID]*server.Server),
+	}
+	for i := 0; i < cfg.Servers; i++ {
+		if _, err := c.startServer(types.ServerID(i)); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+func (c *Cluster) startServer(id types.ServerID) (*server.Server, error) {
+	cc := c.cfg.Classifier
+	if cc.Window == 0 && cc.HotThreshold == 0 {
+		cc = classifier.DefaultConfig(c.cfg.Domain)
+	}
+	srv, err := server.New(server.Config{
+		ID:               id,
+		Topology:         c.top,
+		Groups:           c.groups,
+		Placement:        c.place,
+		Network:          c.net,
+		Policy:           c.polCfg,
+		Collector:        c.col,
+		RecoveryMode:     c.cfg.RecoveryMode,
+		Construction:     c.cfg.Construction,
+		MTBF:             c.cfg.MTBF,
+		HelperLoadDelta:  c.cfg.HelperLoadDelta,
+		ClassifierConfig: cc,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	c.servers[id] = srv
+	c.mu.Unlock()
+	return srv, nil
+}
+
+// Server returns the running server with the given ID (nil if failed).
+func (c *Cluster) Server(id ServerID) *server.Server {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.servers[id]
+}
+
+// NumServers returns the configured server count.
+func (c *Cluster) NumServers() int { return c.cfg.Servers }
+
+// Collector returns the shared metrics collector.
+func (c *Cluster) Collector() *metrics.Collector { return c.col }
+
+// Config returns the cluster configuration (after defaulting).
+func (c *Cluster) Config() Config { return c.cfg }
+
+// Kill simulates a fail-stop crash of the server: it vanishes from the
+// fabric and its memory contents are lost.
+func (c *Cluster) Kill(id ServerID) {
+	c.mu.Lock()
+	srv := c.servers[id]
+	delete(c.servers, id)
+	c.mu.Unlock()
+	if srv != nil {
+		srv.Close()
+	}
+}
+
+// Alive reports whether the server is reachable.
+func (c *Cluster) Alive(id ServerID) bool {
+	if r, ok := c.net.(interface{ Registered(types.ServerID) bool }); ok {
+		return r.Registered(id)
+	}
+	resp, err := c.net.Send(contextBackground, -1, id, &transport.Message{Kind: transport.MsgPing})
+	return err == nil && resp.Kind == transport.MsgOK
+}
+
+// ServerAddrs returns the listen addresses of locally hosted servers when
+// the cluster uses the TCP transport (empty otherwise). Used to hand a
+// remote-cluster client its address map.
+func (c *Cluster) ServerAddrs() map[ServerID]string {
+	tn, ok := c.net.(*transport.TCPNetwork)
+	if !ok {
+		return nil
+	}
+	out := make(map[ServerID]string)
+	for i := 0; i < c.cfg.Servers; i++ {
+		if addr, ok := tn.Addr(types.ServerID(i)); ok {
+			out[ServerID(i)] = addr
+		}
+	}
+	return out
+}
+
+// NewRemoteCluster returns a client-side handle to a staging service
+// hosted elsewhere: it runs no servers, only a TCP fabric pointed at the
+// given addresses. NewClient, Query, Get and Put work as usual; server
+// management methods (Kill, Replace, EndTimeStep) are inert.
+func NewRemoteCluster(cfg Config, addrs map[ServerID]string) (*Cluster, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Servers <= 0 {
+		cfg.Servers = len(addrs)
+	}
+	if cfg.Servers == 0 {
+		return nil, fmt.Errorf("corec: no server addresses")
+	}
+	host := cfg.ListenHost
+	if host == "" {
+		host = "127.0.0.1"
+	}
+	net := transport.NewTCPNetwork(host)
+	for id, addr := range addrs {
+		net.AddRemote(types.ServerID(id), addr)
+	}
+	var codec *erasure.Codec
+	var err error
+	if cfg.Mode != PolicyNone {
+		codec, err = erasure.NewWithConstruction(cfg.DataShards, cfg.NLevel, cfg.Construction)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Cluster{
+		cfg:     cfg,
+		net:     net,
+		place:   placement.NewHash(cfg.Servers),
+		col:     metrics.NewCollector(),
+		codec:   codec,
+		servers: make(map[types.ServerID]*server.Server),
+	}, nil
+}
+
+// Replace starts a fresh (empty) server under the failed server's logical
+// ID — the "replacement staging server" of Section III-D. The caller then
+// runs recovery via the returned server's RunRecovery, or uses
+// ReplaceAndRecover.
+func (c *Cluster) Replace(id ServerID) (*server.Server, error) {
+	c.mu.Lock()
+	_, exists := c.servers[id]
+	c.mu.Unlock()
+	if exists {
+		return nil, fmt.Errorf("corec: server %d is still alive", id)
+	}
+	return c.startServer(id)
+}
+
+// EndTimeStep runs end-of-step processing (CoREC classification-driven
+// transitions) on every server. Returns total demotions and promotions.
+func (c *Cluster) EndTimeStep(ts Version) (demoted, promoted int) {
+	c.mu.Lock()
+	servers := make([]*server.Server, 0, len(c.servers))
+	for _, s := range c.servers {
+		servers = append(servers, s)
+	}
+	c.mu.Unlock()
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for _, s := range servers {
+		wg.Add(1)
+		go func(s *server.Server) {
+			defer wg.Done()
+			d, p := s.EndTimeStep(contextBackground, ts)
+			mu.Lock()
+			demoted += d
+			promoted += p
+			mu.Unlock()
+		}(s)
+	}
+	wg.Wait()
+	// Drain the background encode queues so the step boundary is a
+	// consistent point: write response times exclude encoding, workflow
+	// time includes it.
+	for _, s := range servers {
+		s.WaitEncodeIdle()
+	}
+	return demoted, promoted
+}
+
+// StorageReport aggregates storage usage across live servers.
+type StorageReport struct {
+	// ObjectBytes is the total size of full primary copies.
+	ObjectBytes int64
+	// ReplicaBytes is the total size of replica copies.
+	ReplicaBytes int64
+	// ShardBytes is the total size of erasure shards (data + parity).
+	ShardBytes int64
+	// Replicated and Encoded count primary objects by state.
+	Replicated, Encoded int
+	// Efficiency is the cluster-wide storage efficiency over primary data.
+	Efficiency float64
+}
+
+// StorageReport computes cluster-wide storage accounting.
+func (c *Cluster) StorageReport() StorageReport {
+	c.mu.Lock()
+	servers := make([]*server.Server, 0, len(c.servers))
+	for _, s := range c.servers {
+		servers = append(servers, s)
+	}
+	c.mu.Unlock()
+	var r StorageReport
+	for _, s := range servers {
+		o, rep, sh := s.StorageUsage()
+		r.ObjectBytes += o
+		r.ReplicaBytes += rep
+		r.ShardBytes += sh
+		nr, ne := s.StateCounts()
+		r.Replicated += nr
+		r.Encoded += ne
+	}
+	// Efficiency from the canonical definition: unique data over raw
+	// stored bytes. Encoded objects no longer hold a full copy, so their
+	// unique size is the data-shard fraction of ShardBytes.
+	raw := r.ObjectBytes + r.ReplicaBytes + r.ShardBytes
+	unique := r.ObjectBytes
+	if c.codec != nil {
+		unique += int64(float64(r.ShardBytes) * c.codec.StorageEfficiency())
+	}
+	if raw > 0 {
+		r.Efficiency = float64(unique) / float64(raw)
+	} else {
+		r.Efficiency = 1
+	}
+	return r
+}
+
+// ServerBytes serializes every live server's staged data, the streams a
+// coordinated checkpoint would write (satisfies checkpoint.Snapshotter).
+func (c *Cluster) ServerBytes() [][]byte {
+	c.mu.Lock()
+	servers := make([]*server.Server, 0, len(c.servers))
+	for _, s := range c.servers {
+		servers = append(servers, s)
+	}
+	c.mu.Unlock()
+	out := make([][]byte, len(servers))
+	for i, s := range servers {
+		out[i] = s.SerializeStore()
+	}
+	return out
+}
+
+// Close shuts down every server.
+func (c *Cluster) Close() {
+	c.mu.Lock()
+	servers := make([]*server.Server, 0, len(c.servers))
+	for _, s := range c.servers {
+		servers = append(servers, s)
+	}
+	c.servers = make(map[types.ServerID]*server.Server)
+	c.mu.Unlock()
+	for _, s := range servers {
+		s.Close()
+	}
+	if tn, ok := c.net.(*transport.TCPNetwork); ok {
+		tn.Close()
+	}
+}

@@ -1,0 +1,3 @@
+module corec
+
+go 1.22

@@ -1,0 +1,91 @@
+package checkpoint
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"corec/internal/simnet"
+)
+
+type fakeSnap struct{ streams [][]byte }
+
+func (f *fakeSnap) ServerBytes() [][]byte { return f.streams }
+
+func fastPFS() simnet.PFSModel {
+	return simnet.PFSModel{OpenLatency: time.Millisecond, BytesPerSecond: 1 << 30}
+}
+
+func TestCheckpointRestartRoundTrip(t *testing.T) {
+	cp := New(fastPFS())
+	src := &fakeSnap{streams: [][]byte{[]byte("server0"), []byte("server1-data")}}
+	d := cp.Checkpoint(src)
+	if d <= 0 {
+		t.Fatal("checkpoint took no modelled time")
+	}
+	// Mutate the source; restart must return the snapshot, not the mutation.
+	src.streams[0] = []byte("corrupted")
+	rd, restored, err := cp.Restart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rd <= 0 {
+		t.Fatal("restart took no modelled time")
+	}
+	if !bytes.Equal(restored[0], []byte("server0")) || !bytes.Equal(restored[1], []byte("server1-data")) {
+		t.Fatalf("restored = %q", restored)
+	}
+}
+
+func TestRestartWithoutCheckpointFails(t *testing.T) {
+	cp := New(fastPFS())
+	if _, _, err := cp.Restart(); err == nil {
+		t.Fatal("restart without checkpoint succeeded")
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	cp := New(fastPFS())
+	src := &fakeSnap{streams: [][]byte{make([]byte, 1000), make([]byte, 500)}}
+	cp.Checkpoint(src)
+	cp.Checkpoint(src)
+	count, bytesWritten, total := cp.Stats()
+	if count != 2 || bytesWritten != 3000 {
+		t.Fatalf("count=%d bytes=%d", count, bytesWritten)
+	}
+	if total <= 0 {
+		t.Fatal("no cumulative time")
+	}
+}
+
+func TestCheckpointCostGrowsWithData(t *testing.T) {
+	pfs := simnet.PFSModel{BytesPerSecond: 1 << 20} // 1 MiB/s: visible cost
+	cp := New(pfs)
+	small := cp.Checkpoint(&fakeSnap{streams: [][]byte{make([]byte, 10_000)}})
+	large := cp.Checkpoint(&fakeSnap{streams: [][]byte{make([]byte, 100_000)}})
+	if large < 5*small {
+		t.Fatalf("10x data gave %v vs %v; cost not proportional", large, small)
+	}
+}
+
+func TestRunnerPeriodic(t *testing.T) {
+	cp := New(fastPFS())
+	r := NewRunner(cp, 4*time.Second)
+	src := &fakeSnap{streams: [][]byte{[]byte("x")}}
+	if d := r.Tick(time.Second, src); d != 0 {
+		t.Fatal("checkpoint fired before period")
+	}
+	if d := r.Tick(4*time.Second, src); d == 0 {
+		t.Fatal("checkpoint did not fire at period")
+	}
+	if d := r.Tick(5*time.Second, src); d != 0 {
+		t.Fatal("checkpoint re-fired within period")
+	}
+	if d := r.Tick(8*time.Second, src); d == 0 {
+		t.Fatal("second period missed")
+	}
+	count, _, _ := cp.Stats()
+	if count != 2 {
+		t.Fatalf("checkpoints = %d, want 2", count)
+	}
+}

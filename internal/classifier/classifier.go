@@ -1,0 +1,426 @@
+// Package classifier implements CoREC's online hot/cold data classification
+// (Section II-C of the paper). An object is *write-hot* when it was written
+// more than a threshold number of times within a recent window of time
+// steps, when it is a spatial neighbour of hot data (spatial locality), or
+// when its write history predicts an imminent write (temporal locality /
+// multi-time-step lookahead). Everything else is write-cold.
+//
+// The classifier also selects transition candidates: the lowest-frequency
+// replicated objects to demote to erasure coding, and the highest-frequency
+// encoded objects to promote back to replication — the latter only when the
+// storage-efficiency constraint has slack, which the caller enforces.
+//
+// Each staging server owns one classifier instance covering the objects it
+// is primary for, mirroring the paper's per-server data classification
+// component.
+package classifier
+
+import (
+	"sort"
+	"sync"
+
+	"corec/internal/geometry"
+	"corec/internal/types"
+)
+
+// Class is the classification verdict.
+type Class uint8
+
+// Verdicts.
+const (
+	Cold Class = iota
+	Hot
+)
+
+// String implements fmt.Stringer.
+func (c Class) String() string {
+	if c == Hot {
+		return "hot"
+	}
+	return "cold"
+}
+
+// Reason explains why an object was classified hot, for instrumentation.
+type Reason uint8
+
+// Hot reasons.
+const (
+	NotHot Reason = iota
+	RecentWrites
+	SpatialNeighbor
+	TemporalPrediction
+)
+
+// String implements fmt.Stringer.
+func (r Reason) String() string {
+	switch r {
+	case RecentWrites:
+		return "recent-writes"
+	case SpatialNeighbor:
+		return "spatial-neighbor"
+	case TemporalPrediction:
+		return "temporal-prediction"
+	default:
+		return "not-hot"
+	}
+}
+
+// Config tunes the classifier.
+type Config struct {
+	// HotThreshold is the minimum number of writes within Window time steps
+	// for an object to be hot on its own (>= 1).
+	HotThreshold int
+	// Window is the number of recent time steps considered (>= 1).
+	Window int
+	// SpatialRadius is the neighbourhood (in grid cells) within which
+	// neighbours of hot objects are also considered hot. Zero disables the
+	// spatial rule.
+	SpatialRadius int64
+	// HistoryDepth is how many past write time steps are retained per object
+	// for the periodicity predictor (>= 2 enables prediction).
+	HistoryDepth int
+	// Domain bounds spatial expansion. An invalid (zero) box disables
+	// clamping.
+	Domain geometry.Box
+}
+
+// DefaultConfig returns the configuration used by the experiments: hot on
+// any write in the last 2 steps, 1-cell spatial halo, 4-step history.
+func DefaultConfig(domain geometry.Box) Config {
+	return Config{
+		HotThreshold:  1,
+		Window:        2,
+		SpatialRadius: 1,
+		HistoryDepth:  4,
+		Domain:        domain,
+	}
+}
+
+func (c *Config) sanitize() {
+	if c.HotThreshold < 1 {
+		c.HotThreshold = 1
+	}
+	if c.Window < 1 {
+		c.Window = 1
+	}
+	if c.HistoryDepth < 2 {
+		c.HistoryDepth = 2
+	}
+}
+
+type objectState struct {
+	id  types.ObjectID
+	box geometry.Box
+	// writes[i] counts writes at time step (currentTS - i), i < Window.
+	writes []int
+	// history holds the most recent write time steps, newest last.
+	history []types.Version
+	// refCount is the paper's access-frequency reference counter; it is
+	// reset to zero when the object transitions to erasure coding.
+	refCount int64
+	// encoded mirrors the object's current resilience state so transition
+	// candidates are drawn from the right pool.
+	encoded bool
+}
+
+// Classifier is safe for concurrent use.
+type Classifier struct {
+	cfg Config
+
+	mu      sync.Mutex
+	current types.Version
+	objects map[string]*objectState
+
+	// stats for miss-ratio instrumentation
+	predictions    int64 // objects predicted hot by lookahead
+	predictionHits int64 // predictions followed by a write within the window
+	pendingPred    map[string]types.Version
+}
+
+// New constructs a classifier.
+func New(cfg Config) *Classifier {
+	cfg.sanitize()
+	return &Classifier{
+		cfg:         cfg,
+		objects:     make(map[string]*objectState),
+		pendingPred: make(map[string]types.Version),
+	}
+}
+
+// RecordWrite notes that the object was written at time step ts. The caller
+// is responsible for calling AdvanceTo as the simulation progresses; writes
+// for steps older than the current step are counted into the current window
+// slot (late arrivals are rare and harmless).
+func (c *Classifier) RecordWrite(id types.ObjectID, ts types.Version) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ts > c.current {
+		c.advanceLocked(ts)
+	}
+	st := c.ensureLocked(id)
+	st.writes[0]++
+	st.refCount++
+	if n := len(st.history); n == 0 || st.history[n-1] != ts {
+		st.history = append(st.history, ts)
+		if len(st.history) > c.cfg.HistoryDepth {
+			st.history = st.history[1:]
+		}
+	}
+	// Prediction bookkeeping: a write within Window steps of a prediction
+	// counts as a hit.
+	if pts, ok := c.pendingPred[id.Key()]; ok && ts >= pts && ts <= pts+types.Version(c.cfg.Window) {
+		c.predictionHits++
+		delete(c.pendingPred, id.Key())
+	}
+}
+
+// Track registers an object (with its resilience state) without recording a
+// write, so transition pools include objects restored from recovery.
+func (c *Classifier) Track(id types.ObjectID, encoded bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.ensureLocked(id)
+	st.encoded = encoded
+}
+
+// SetEncoded updates the resilience state of an object; transitioning to
+// encoded resets the reference counter, per Section II-C.
+func (c *Classifier) SetEncoded(id types.ObjectID, encoded bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.ensureLocked(id)
+	if encoded && !st.encoded {
+		st.refCount = 0
+	}
+	st.encoded = encoded
+}
+
+// Forget removes an object from the classifier (object deleted).
+func (c *Classifier) Forget(id types.ObjectID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.objects, id.Key())
+	delete(c.pendingPred, id.Key())
+}
+
+func (c *Classifier) ensureLocked(id types.ObjectID) *objectState {
+	key := id.Key()
+	st, ok := c.objects[key]
+	if !ok {
+		st = &objectState{id: id, box: id.Box, writes: make([]int, c.cfg.Window)}
+		c.objects[key] = st
+	}
+	return st
+}
+
+// AdvanceTo slides the window forward to time step ts and refreshes the
+// lookahead predictions. Call once per time step.
+func (c *Classifier) AdvanceTo(ts types.Version) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.advanceLocked(ts)
+}
+
+func (c *Classifier) advanceLocked(ts types.Version) {
+	if ts <= c.current {
+		return
+	}
+	delta := int(ts - c.current)
+	for _, st := range c.objects {
+		if delta >= len(st.writes) {
+			for i := range st.writes {
+				st.writes[i] = 0
+			}
+			continue
+		}
+		copy(st.writes[delta:], st.writes[:len(st.writes)-delta])
+		for i := 0; i < delta; i++ {
+			st.writes[i] = 0
+		}
+	}
+	c.current = ts
+	// Expire stale predictions, then mint fresh ones.
+	for key, pts := range c.pendingPred {
+		if ts > pts+types.Version(c.cfg.Window) {
+			delete(c.pendingPred, key)
+		}
+	}
+	for key, st := range c.objects {
+		if p, ok := c.predictNextLocked(st); ok && p >= ts && p <= ts+1 {
+			if _, dup := c.pendingPred[key]; !dup {
+				c.pendingPred[key] = p
+				c.predictions++
+			}
+		}
+	}
+}
+
+// predictNextLocked applies the multi-time-step lookahead: if the object's
+// write history shows a stable period, predict the next write time.
+func (c *Classifier) predictNextLocked(st *objectState) (types.Version, bool) {
+	h := st.history
+	if len(h) < 2 {
+		return 0, false
+	}
+	period := h[1] - h[0]
+	if period <= 0 {
+		return 0, false
+	}
+	for i := 2; i < len(h); i++ {
+		if h[i]-h[i-1] != period {
+			return 0, false
+		}
+	}
+	return h[len(h)-1] + period, true
+}
+
+func (c *Classifier) recentWritesLocked(st *objectState) int {
+	total := 0
+	for _, w := range st.writes {
+		total += w
+	}
+	return total
+}
+
+// classifyLocked computes the verdict without the spatial rule.
+func (c *Classifier) classifyLocalLocked(st *objectState) (Class, Reason) {
+	if c.recentWritesLocked(st) >= c.cfg.HotThreshold {
+		return Hot, RecentWrites
+	}
+	if _, ok := c.pendingPred[st.id.Key()]; ok {
+		return Hot, TemporalPrediction
+	}
+	return Cold, NotHot
+}
+
+// Classify returns the verdict for one object, applying all three rules
+// (recent writes, temporal prediction, spatial neighbourhood of hot data).
+// Unknown objects are cold.
+func (c *Classifier) Classify(id types.ObjectID) (Class, Reason) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.objects[id.Key()]
+	if !ok {
+		return Cold, NotHot
+	}
+	if cl, r := c.classifyLocalLocked(st); cl == Hot {
+		return cl, r
+	}
+	if c.cfg.SpatialRadius > 0 {
+		halo := st.box.Expand(c.cfg.SpatialRadius, c.cfg.Domain)
+		for _, other := range c.objects {
+			if other == st || other.id.Var != st.id.Var {
+				continue
+			}
+			if !halo.Intersects(other.box) {
+				continue
+			}
+			if cl, _ := c.classifyLocalLocked(other); cl == Hot {
+				return Hot, SpatialNeighbor
+			}
+		}
+	}
+	return Cold, NotHot
+}
+
+// Candidate pairs an object with its reference count for transition
+// selection.
+type Candidate struct {
+	ID       types.ObjectID
+	RefCount int64
+}
+
+// CoolCandidates returns up to n replicated objects that are currently cold,
+// ordered by ascending reference count — the paper's rule for choosing which
+// replicated objects to erasure-code next.
+func (c *Classifier) CoolCandidates(n int) []Candidate {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Candidate
+	for _, st := range c.objects {
+		if st.encoded {
+			continue
+		}
+		if cl, _ := c.classifyLocalLocked(st); cl == Hot {
+			continue
+		}
+		// The spatial rule also protects neighbours of hot data from
+		// demotion; apply it here (cheaper than full Classify per object
+		// because the hot set is usually small).
+		if c.cfg.SpatialRadius > 0 && c.hasHotNeighborLocked(st) {
+			continue
+		}
+		out = append(out, Candidate{ID: st.id, RefCount: st.refCount})
+	}
+	sortCandidates(out)
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+func (c *Classifier) hasHotNeighborLocked(st *objectState) bool {
+	halo := st.box.Expand(c.cfg.SpatialRadius, c.cfg.Domain)
+	for _, other := range c.objects {
+		if other == st || other.id.Var != st.id.Var {
+			continue
+		}
+		if !halo.Intersects(other.box) {
+			continue
+		}
+		if cl, _ := c.classifyLocalLocked(other); cl == Hot {
+			return true
+		}
+	}
+	return false
+}
+
+// HeatCandidates returns up to n encoded objects ordered by descending
+// reference count — the pool from which objects are promoted back to
+// replication when the storage constraint has slack.
+func (c *Classifier) HeatCandidates(n int) []Candidate {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []Candidate
+	for _, st := range c.objects {
+		if !st.encoded {
+			continue
+		}
+		out = append(out, Candidate{ID: st.id, RefCount: st.refCount})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].RefCount != out[j].RefCount {
+			return out[i].RefCount > out[j].RefCount
+		}
+		return out[i].ID.Key() < out[j].ID.Key()
+	})
+	if len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+func sortCandidates(cs []Candidate) {
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].RefCount != cs[j].RefCount {
+			return cs[i].RefCount < cs[j].RefCount
+		}
+		return cs[i].ID.Key() < cs[j].ID.Key()
+	})
+}
+
+// Stats reports the lookahead predictor's accuracy: predictions issued and
+// the fraction that were followed by a write (1 - miss ratio over the
+// predicted-hot population).
+func (c *Classifier) Stats() (predictions, hits int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.predictions, c.predictionHits
+}
+
+// NumTracked returns the number of objects the classifier knows about.
+func (c *Classifier) NumTracked() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.objects)
+}

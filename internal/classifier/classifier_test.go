@@ -1,0 +1,296 @@
+package classifier
+
+import (
+	"fmt"
+	"testing"
+
+	"corec/internal/geometry"
+	"corec/internal/types"
+)
+
+func objID(name string, x int64) types.ObjectID {
+	return types.ObjectID{Var: name, Box: geometry.Box3D(x, 0, 0, x+4, 4, 4)}
+}
+
+func testConfig() Config {
+	return Config{
+		HotThreshold:  1,
+		Window:        2,
+		SpatialRadius: 1,
+		HistoryDepth:  4,
+		Domain:        geometry.Box3D(0, 0, 0, 64, 64, 64),
+	}
+}
+
+func TestFreshWriteIsHot(t *testing.T) {
+	c := New(testConfig())
+	id := objID("v", 0)
+	c.RecordWrite(id, 1)
+	if cl, r := c.Classify(id); cl != Hot || r != RecentWrites {
+		t.Fatalf("Classify = %v/%v, want hot/recent-writes", cl, r)
+	}
+}
+
+func TestUnknownObjectIsCold(t *testing.T) {
+	c := New(testConfig())
+	if cl, _ := c.Classify(objID("v", 0)); cl != Cold {
+		t.Fatal("unknown object not cold")
+	}
+}
+
+func TestObjectCoolsAfterWindow(t *testing.T) {
+	c := New(testConfig())
+	id := objID("v", 0)
+	c.RecordWrite(id, 1)
+	c.AdvanceTo(2)
+	if cl, _ := c.Classify(id); cl != Hot {
+		t.Fatal("object cooled too early (window=2)")
+	}
+	c.AdvanceTo(4)
+	if cl, _ := c.Classify(id); cl != Cold {
+		t.Fatal("object did not cool after window expired")
+	}
+}
+
+func TestHotThreshold(t *testing.T) {
+	cfg := testConfig()
+	cfg.HotThreshold = 3
+	c := New(cfg)
+	id := objID("v", 0)
+	c.RecordWrite(id, 1)
+	c.RecordWrite(id, 1)
+	if cl, _ := c.Classify(id); cl != Cold {
+		t.Fatal("2 writes reached threshold of 3")
+	}
+	c.RecordWrite(id, 1)
+	if cl, _ := c.Classify(id); cl != Hot {
+		t.Fatal("3 writes did not reach threshold of 3")
+	}
+}
+
+func TestSpatialNeighborRule(t *testing.T) {
+	c := New(testConfig())
+	hot := types.ObjectID{Var: "v", Box: geometry.Box3D(0, 0, 0, 4, 4, 4)}
+	adjacent := types.ObjectID{Var: "v", Box: geometry.Box3D(4, 0, 0, 8, 4, 4)}
+	far := types.ObjectID{Var: "v", Box: geometry.Box3D(32, 0, 0, 36, 4, 4)}
+	otherVar := types.ObjectID{Var: "w", Box: geometry.Box3D(4, 0, 0, 8, 4, 4)}
+	c.RecordWrite(hot, 1)
+	c.Track(adjacent, false)
+	c.Track(far, false)
+	c.Track(otherVar, false)
+	if cl, r := c.Classify(adjacent); cl != Hot || r != SpatialNeighbor {
+		t.Fatalf("adjacent = %v/%v, want hot/spatial-neighbor", cl, r)
+	}
+	if cl, _ := c.Classify(far); cl != Cold {
+		t.Fatal("far object heated by spatial rule")
+	}
+	if cl, _ := c.Classify(otherVar); cl != Cold {
+		t.Fatal("spatial rule leaked across variables")
+	}
+}
+
+func TestSpatialRuleDisabled(t *testing.T) {
+	cfg := testConfig()
+	cfg.SpatialRadius = 0
+	c := New(cfg)
+	hot := types.ObjectID{Var: "v", Box: geometry.Box3D(0, 0, 0, 4, 4, 4)}
+	adjacent := types.ObjectID{Var: "v", Box: geometry.Box3D(4, 0, 0, 8, 4, 4)}
+	c.RecordWrite(hot, 1)
+	c.Track(adjacent, false)
+	if cl, _ := c.Classify(adjacent); cl != Cold {
+		t.Fatal("spatial rule active despite radius 0")
+	}
+}
+
+func TestTemporalPrediction(t *testing.T) {
+	// Case-2 pattern: object written every 4 steps. After enough history
+	// the classifier must predict the next write and pre-heat the object.
+	c := New(testConfig())
+	id := objID("v", 0)
+	c.RecordWrite(id, 1)
+	c.RecordWrite(id, 5)
+	c.RecordWrite(id, 9)
+	// Advance to step 12: next predicted write is 13, within lookahead.
+	c.AdvanceTo(12)
+	if cl, r := c.Classify(id); cl != Hot || r != TemporalPrediction {
+		t.Fatalf("Classify = %v/%v, want hot/temporal-prediction", cl, r)
+	}
+	// Write arrives as predicted: the predictor records a hit.
+	c.RecordWrite(id, 13)
+	preds, hits := c.Stats()
+	if preds == 0 || hits == 0 {
+		t.Fatalf("predictor stats: %d predictions, %d hits", preds, hits)
+	}
+}
+
+func TestNoPredictionFromIrregularHistory(t *testing.T) {
+	c := New(testConfig())
+	id := objID("v", 0)
+	c.RecordWrite(id, 1)
+	c.RecordWrite(id, 2)
+	c.RecordWrite(id, 7)
+	c.AdvanceTo(10)
+	if cl, r := c.Classify(id); cl == Hot && r == TemporalPrediction {
+		t.Fatal("irregular history produced a prediction")
+	}
+}
+
+func TestCoolCandidatesOrderAndFilter(t *testing.T) {
+	c := New(testConfig())
+	// Three replicated objects with different historic activity, all cold
+	// now; candidate order must be by ascending refcount.
+	a, b, d := objID("v", 0), objID("v", 16), objID("v", 32)
+	for i := 0; i < 3; i++ {
+		c.RecordWrite(a, types.Version(1))
+	}
+	c.RecordWrite(b, 1)
+	for i := 0; i < 2; i++ {
+		c.RecordWrite(d, 1)
+	}
+	hot := objID("v", 48)
+	c.AdvanceTo(10) // everything cools
+	c.RecordWrite(hot, 10)
+	cands := c.CoolCandidates(10)
+	if len(cands) != 3 {
+		t.Fatalf("got %d candidates, want 3 (hot object excluded): %v", len(cands), cands)
+	}
+	if cands[0].ID.Key() != b.Key() || cands[1].ID.Key() != d.Key() || cands[2].ID.Key() != a.Key() {
+		t.Fatalf("candidates out of order: %v", cands)
+	}
+	limited := c.CoolCandidates(1)
+	if len(limited) != 1 || limited[0].ID.Key() != b.Key() {
+		t.Fatalf("limit not applied: %v", limited)
+	}
+}
+
+func TestCoolCandidatesProtectHotNeighbors(t *testing.T) {
+	c := New(testConfig())
+	hot := types.ObjectID{Var: "v", Box: geometry.Box3D(0, 0, 0, 4, 4, 4)}
+	adjacent := types.ObjectID{Var: "v", Box: geometry.Box3D(4, 0, 0, 8, 4, 4)}
+	c.Track(adjacent, false)
+	c.AdvanceTo(5)
+	c.RecordWrite(hot, 5)
+	for _, cand := range c.CoolCandidates(10) {
+		if cand.ID.Key() == adjacent.Key() {
+			t.Fatal("hot neighbour offered for demotion")
+		}
+	}
+}
+
+func TestHeatCandidates(t *testing.T) {
+	c := New(testConfig())
+	a, b := objID("v", 0), objID("v", 16)
+	c.Track(a, true)
+	c.Track(b, true)
+	c.RecordWrite(a, 1) // encoded object written once
+	c.RecordWrite(a, 1)
+	c.RecordWrite(b, 1)
+	cands := c.HeatCandidates(10)
+	if len(cands) != 2 || cands[0].ID.Key() != a.Key() {
+		t.Fatalf("HeatCandidates = %v", cands)
+	}
+	if c.HeatCandidates(1)[0].ID.Key() != a.Key() {
+		t.Fatal("limit broke ordering")
+	}
+}
+
+func TestSetEncodedResetsRefCount(t *testing.T) {
+	c := New(testConfig())
+	id := objID("v", 0)
+	c.RecordWrite(id, 1)
+	c.RecordWrite(id, 1)
+	c.SetEncoded(id, true)
+	c.AdvanceTo(10)
+	cands := c.HeatCandidates(1)
+	if len(cands) != 1 || cands[0].RefCount != 0 {
+		t.Fatalf("refcount not reset on encode transition: %v", cands)
+	}
+	// Re-encoding an already-encoded object must not reset again after new
+	// accesses accumulate.
+	c.RecordWrite(id, 10)
+	c.SetEncoded(id, true)
+	if got := c.HeatCandidates(1)[0].RefCount; got != 1 {
+		t.Fatalf("idempotent SetEncoded reset the counter: %d", got)
+	}
+}
+
+func TestForget(t *testing.T) {
+	c := New(testConfig())
+	id := objID("v", 0)
+	c.RecordWrite(id, 1)
+	c.Forget(id)
+	if c.NumTracked() != 0 {
+		t.Fatal("Forget left the object tracked")
+	}
+	if cl, _ := c.Classify(id); cl != Cold {
+		t.Fatal("forgotten object still hot")
+	}
+}
+
+func TestAdvanceSkipsMultipleSteps(t *testing.T) {
+	cfg := testConfig()
+	cfg.Window = 3
+	c := New(cfg)
+	id := objID("v", 0)
+	c.RecordWrite(id, 1)
+	c.AdvanceTo(2)
+	c.RecordWrite(id, 2)
+	// Jump to step 4: the write at step 2 is still inside a 3-step window.
+	c.AdvanceTo(4)
+	if cl, _ := c.Classify(id); cl != Hot {
+		t.Fatal("write at ts=2 fell out of a 3-step window at ts=4")
+	}
+	c.AdvanceTo(100)
+	if cl, _ := c.Classify(id); cl != Cold {
+		t.Fatal("large advance did not cool the object")
+	}
+}
+
+func TestManyObjectsScale(t *testing.T) {
+	c := New(testConfig())
+	for i := 0; i < 500; i++ {
+		c.RecordWrite(objID("v", int64(i*8)), 1)
+	}
+	if c.NumTracked() != 500 {
+		t.Fatalf("tracked %d, want 500", c.NumTracked())
+	}
+	c.AdvanceTo(10)
+	if got := len(c.CoolCandidates(1000)); got != 500 {
+		t.Fatalf("cool candidates = %d, want 500", got)
+	}
+}
+
+func TestClassStrings(t *testing.T) {
+	if Hot.String() != "hot" || Cold.String() != "cold" {
+		t.Fatal("class strings wrong")
+	}
+	for _, r := range []Reason{NotHot, RecentWrites, SpatialNeighbor, TemporalPrediction} {
+		if r.String() == "" {
+			t.Fatal("empty reason string")
+		}
+	}
+}
+
+func BenchmarkClassify1000Objects(b *testing.B) {
+	c := New(testConfig())
+	var ids []types.ObjectID
+	for i := 0; i < 1000; i++ {
+		id := types.ObjectID{Var: "v", Box: geometry.Box3D(int64(i)*4, 0, 0, int64(i)*4+4, 4, 4)}
+		ids = append(ids, id)
+		c.RecordWrite(id, types.Version(i%20))
+	}
+	c.AdvanceTo(20)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Classify(ids[i%len(ids)])
+	}
+}
+
+func ExampleClassifier() {
+	c := New(DefaultConfig(geometry.Box3D(0, 0, 0, 64, 64, 64)))
+	id := types.ObjectID{Var: "temp", Box: geometry.Box3D(0, 0, 0, 8, 8, 8)}
+	c.RecordWrite(id, 1)
+	cl, reason := c.Classify(id)
+	fmt.Println(cl, reason)
+	// Output: hot recent-writes
+}

@@ -1,0 +1,346 @@
+// Package erasure implements a systematic Reed-Solomon erasure code
+// RS(n = k+m, k) over GF(2^8), replacing the Jerasure library the paper
+// uses. A stripe holds k equally sized data shards and m parity shards; any
+// m shard losses are recoverable from the surviving k.
+//
+// Beyond the standard Encode/Reconstruct pair the codec supports
+// UpdateParity, the delta-encoding path CoREC needs when a single encoded
+// object is overwritten: parity is patched from the XOR-difference of the
+// old and new data shard without touching the other k-1 data shards. This
+// is exactly the "read old data, recompute parity" cost the paper charges
+// to erasure-coded writes.
+package erasure
+
+import (
+	"errors"
+	"fmt"
+
+	"corec/internal/gf256"
+	"corec/internal/matrix"
+)
+
+// Common codec errors.
+var (
+	ErrShardCount = errors.New("erasure: wrong number of shards")
+	ErrShardSize  = errors.New("erasure: shards have unequal or zero size")
+	ErrTooFewGood = errors.New("erasure: too few surviving shards to reconstruct")
+	ErrVerify     = errors.New("erasure: parity verification failed")
+)
+
+// Codec is a reusable Reed-Solomon encoder/decoder for fixed (k, m). It is
+// safe for concurrent use: all state is immutable after construction.
+type Codec struct {
+	k, m int
+	gen  *matrix.Matrix // (k+m) x k systematic generator
+}
+
+// Construction selects the generator-matrix family.
+type Construction int
+
+// Generator constructions. Both are systematic MDS codes; Vandermonde is
+// the classic Reed-Solomon derivation, Cauchy the alternative Jerasure
+// popularized (cheaper matrix construction, identical coding guarantees).
+const (
+	Vandermonde Construction = iota
+	Cauchy
+)
+
+// String implements fmt.Stringer.
+func (c Construction) String() string {
+	if c == Cauchy {
+		return "cauchy"
+	}
+	return "vandermonde"
+}
+
+// New constructs a codec with k data shards and m parity shards using the
+// Vandermonde-derived generator.
+func New(k, m int) (*Codec, error) {
+	return NewWithConstruction(k, m, Vandermonde)
+}
+
+// NewWithConstruction selects the generator family explicitly.
+func NewWithConstruction(k, m int, con Construction) (*Codec, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("erasure: data shard count %d must be positive", k)
+	}
+	if m <= 0 {
+		return nil, fmt.Errorf("erasure: parity shard count %d must be positive", m)
+	}
+	var gen *matrix.Matrix
+	var err error
+	switch con {
+	case Vandermonde:
+		gen, err = matrix.RSGenerator(k, m)
+	case Cauchy:
+		gen, err = matrix.CauchyRSGenerator(k, m)
+	default:
+		return nil, fmt.Errorf("erasure: unknown construction %d", int(con))
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &Codec{k: k, m: m, gen: gen}, nil
+}
+
+// DataShards returns k, the number of data shards per stripe.
+func (c *Codec) DataShards() int { return c.k }
+
+// ParityShards returns m, the number of parity shards per stripe.
+func (c *Codec) ParityShards() int { return c.m }
+
+// TotalShards returns k+m.
+func (c *Codec) TotalShards() int { return c.k + c.m }
+
+// StorageEfficiency returns k/(k+m), the fraction of raw storage holding
+// real data (E_e in the paper's model).
+func (c *Codec) StorageEfficiency() float64 {
+	return float64(c.k) / float64(c.k+c.m)
+}
+
+func (c *Codec) checkShards(shards [][]byte, allowNil bool) (size int, err error) {
+	if len(shards) != c.k+c.m {
+		return 0, fmt.Errorf("%w: got %d, want %d", ErrShardCount, len(shards), c.k+c.m)
+	}
+	size = -1
+	for _, s := range shards {
+		if s == nil {
+			if !allowNil {
+				return 0, fmt.Errorf("%w: nil shard", ErrShardSize)
+			}
+			continue
+		}
+		if size < 0 {
+			size = len(s)
+		} else if len(s) != size {
+			return 0, fmt.Errorf("%w: %d vs %d", ErrShardSize, len(s), size)
+		}
+	}
+	if size <= 0 {
+		return 0, fmt.Errorf("%w: no shard data", ErrShardSize)
+	}
+	return size, nil
+}
+
+// Encode computes the m parity shards from the first k data shards,
+// overwriting shards[k:]. All k+m shards must be allocated with equal size.
+func (c *Codec) Encode(shards [][]byte) error {
+	if _, err := c.checkShards(shards, false); err != nil {
+		return err
+	}
+	for p := 0; p < c.m; p++ {
+		row := c.gen.Row(c.k + p)
+		out := shards[c.k+p]
+		gf256.MulSlice(row[0], shards[0], out)
+		for d := 1; d < c.k; d++ {
+			gf256.MulAddSlice(row[d], shards[d], out)
+		}
+	}
+	return nil
+}
+
+// Verify checks that the parity shards are consistent with the data shards.
+// It returns nil when the stripe verifies and ErrVerify when it does not.
+func (c *Codec) Verify(shards [][]byte) error {
+	size, err := c.checkShards(shards, false)
+	if err != nil {
+		return err
+	}
+	buf := make([]byte, size)
+	for p := 0; p < c.m; p++ {
+		row := c.gen.Row(c.k + p)
+		gf256.MulSlice(row[0], shards[0], buf)
+		for d := 1; d < c.k; d++ {
+			gf256.MulAddSlice(row[d], shards[d], buf)
+		}
+		parity := shards[c.k+p]
+		for i := range buf {
+			if buf[i] != parity[i] {
+				return ErrVerify
+			}
+		}
+	}
+	return nil
+}
+
+// Reconstruct fills in the missing (nil) shards in place. Missing shards are
+// identified by nil entries; up to m shards may be missing. Surviving shards
+// are never modified. Reconstructed shards are freshly allocated.
+func (c *Codec) Reconstruct(shards [][]byte) error {
+	return c.reconstruct(shards, false)
+}
+
+// ReconstructData fills in only the missing data shards, skipping the
+// (cheaper) regeneration of lost parity. This is the degraded-read path: a
+// client needs the data now; parity can be repaired lazily.
+func (c *Codec) ReconstructData(shards [][]byte) error {
+	return c.reconstruct(shards, true)
+}
+
+func (c *Codec) reconstruct(shards [][]byte, dataOnly bool) error {
+	size, err := c.checkShards(shards, true)
+	if err != nil {
+		return err
+	}
+	var missing, present []int
+	for i, s := range shards {
+		if s == nil {
+			missing = append(missing, i)
+		} else {
+			present = append(present, i)
+		}
+	}
+	if len(missing) == 0 {
+		return nil
+	}
+	if len(present) < c.k {
+		return fmt.Errorf("%w: %d survivors, need %d", ErrTooFewGood, len(present), c.k)
+	}
+	// Decode matrix: invert k surviving generator rows, mapping survivors
+	// back to the original data shards.
+	rows := present[:c.k]
+	dec, err := c.gen.SelectRows(rows).Invert()
+	if err != nil {
+		// Cannot happen for an MDS generator; surface it defensively.
+		return fmt.Errorf("erasure: decode matrix singular: %w", err)
+	}
+	// Recover missing data shards first.
+	var recoveredData [][]byte
+	dataMissing := false
+	for _, idx := range missing {
+		if idx < c.k {
+			dataMissing = true
+		}
+	}
+	if dataMissing {
+		recoveredData = make([][]byte, c.k)
+		for d := 0; d < c.k; d++ {
+			if shards[d] != nil {
+				recoveredData[d] = shards[d]
+				continue
+			}
+			out := make([]byte, size)
+			row := dec.Row(d)
+			first := true
+			for j, srcIdx := range rows {
+				coef := row[j]
+				if coef == 0 {
+					continue
+				}
+				if first {
+					gf256.MulSlice(coef, shards[srcIdx], out)
+					first = false
+				} else {
+					gf256.MulAddSlice(coef, shards[srcIdx], out)
+				}
+			}
+			if first { // all coefficients zero: the shard is all zeros
+				for i := range out {
+					out[i] = 0
+				}
+			}
+			recoveredData[d] = out
+		}
+		for d := 0; d < c.k; d++ {
+			if shards[d] == nil {
+				shards[d] = recoveredData[d]
+			}
+		}
+	}
+	if dataOnly {
+		return nil
+	}
+	// Re-encode any missing parity from the (now complete) data shards.
+	for _, idx := range missing {
+		if idx < c.k {
+			continue
+		}
+		out := make([]byte, size)
+		row := c.gen.Row(idx)
+		gf256.MulSlice(row[0], shards[0], out)
+		for d := 1; d < c.k; d++ {
+			gf256.MulAddSlice(row[d], shards[d], out)
+		}
+		shards[idx] = out
+	}
+	return nil
+}
+
+// UpdateParity patches the parity shards after data shard dataIndex changed
+// from oldData to newData, without reading the other data shards. Each
+// parity p is updated as parity ^= G[k+p][dataIndex] * (old ^ new), which is
+// the algebraic identity behind the paper's "update one object => read old
+// data, recompute parity" cost accounting (but cheaper: only the old copy of
+// the changed shard is needed, which the staging server has locally).
+func (c *Codec) UpdateParity(dataIndex int, oldData, newData []byte, parity [][]byte) error {
+	if dataIndex < 0 || dataIndex >= c.k {
+		return fmt.Errorf("erasure: data index %d out of range [0,%d)", dataIndex, c.k)
+	}
+	if len(parity) != c.m {
+		return fmt.Errorf("%w: got %d parity shards, want %d", ErrShardCount, len(parity), c.m)
+	}
+	if len(oldData) != len(newData) {
+		return fmt.Errorf("%w: old %d vs new %d", ErrShardSize, len(oldData), len(newData))
+	}
+	delta := make([]byte, len(oldData))
+	for i := range delta {
+		delta[i] = oldData[i] ^ newData[i]
+	}
+	for p := 0; p < c.m; p++ {
+		if len(parity[p]) != len(delta) {
+			return fmt.Errorf("%w: parity %d has size %d, want %d", ErrShardSize, p, len(parity[p]), len(delta))
+		}
+		coef := c.gen.At(c.k+p, dataIndex)
+		gf256.MulAddSlice(coef, delta, parity[p])
+	}
+	return nil
+}
+
+// Split slices data into k equally sized shards, zero-padding the tail, and
+// allocates m empty parity shards, returning a ready-to-Encode stripe and
+// the shard size. The input is copied.
+func (c *Codec) Split(data []byte) ([][]byte, int) {
+	shardSize := (len(data) + c.k - 1) / c.k
+	if shardSize == 0 {
+		shardSize = 1
+	}
+	shards := make([][]byte, c.k+c.m)
+	for i := 0; i < c.k+c.m; i++ {
+		shards[i] = make([]byte, shardSize)
+	}
+	for i := 0; i < c.k; i++ {
+		lo := i * shardSize
+		if lo >= len(data) {
+			break
+		}
+		hi := lo + shardSize
+		if hi > len(data) {
+			hi = len(data)
+		}
+		copy(shards[i], data[lo:hi])
+	}
+	return shards, shardSize
+}
+
+// Join is the inverse of Split: it concatenates the k data shards and trims
+// the result to size bytes.
+func (c *Codec) Join(shards [][]byte, size int) ([]byte, error) {
+	if len(shards) < c.k {
+		return nil, fmt.Errorf("%w: got %d, want at least %d", ErrShardCount, len(shards), c.k)
+	}
+	out := make([]byte, 0, size)
+	for i := 0; i < c.k && len(out) < size; i++ {
+		if shards[i] == nil {
+			return nil, fmt.Errorf("%w: data shard %d missing", ErrShardSize, i)
+		}
+		need := size - len(out)
+		if need > len(shards[i]) {
+			need = len(shards[i])
+		}
+		out = append(out, shards[i][:need]...)
+	}
+	if len(out) != size {
+		return nil, fmt.Errorf("erasure: joined %d bytes, want %d", len(out), size)
+	}
+	return out, nil
+}

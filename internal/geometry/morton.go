@@ -1,0 +1,57 @@
+package geometry
+
+// Morton (Z-order) linearization: interleaving the bits of up to three
+// coordinates produces a one-dimensional index that preserves spatial
+// locality — points close in space tend to be close on the curve. The
+// space-aware placement uses it so neighbouring regions of the domain land
+// on neighbouring ring positions, the affinity DataSpaces gets from its
+// space-filling-curve decomposition.
+
+// spread3 spaces the low 21 bits of x three apart (supports coordinates up
+// to 2^21 per dimension, 63 bits total).
+func spread3(x uint64) uint64 {
+	x &= 0x1FFFFF
+	x = (x | x<<32) & 0x1F00000000FFFF
+	x = (x | x<<16) & 0x1F0000FF0000FF
+	x = (x | x<<8) & 0x100F00F00F00F00F
+	x = (x | x<<4) & 0x10C30C30C30C30C3
+	x = (x | x<<2) & 0x1249249249249249
+	return x
+}
+
+// compact3 inverts spread3.
+func compact3(x uint64) uint64 {
+	x &= 0x1249249249249249
+	x = (x ^ x>>2) & 0x10C30C30C30C30C3
+	x = (x ^ x>>4) & 0x100F00F00F00F00F
+	x = (x ^ x>>8) & 0x1F0000FF0000FF
+	x = (x ^ x>>16) & 0x1F00000000FFFF
+	x = (x ^ x>>32) & 0x1FFFFF
+	return x
+}
+
+// Morton3D interleaves three non-negative coordinates (each < 2^21) into
+// their Z-order index.
+func Morton3D(x, y, z uint64) uint64 {
+	return spread3(x) | spread3(y)<<1 | spread3(z)<<2
+}
+
+// Demorton3D inverts Morton3D.
+func Demorton3D(m uint64) (x, y, z uint64) {
+	return compact3(m), compact3(m >> 1), compact3(m >> 2)
+}
+
+// MortonOfPoint linearizes a point of up to 3 dimensions relative to an
+// origin; higher-dimensional points fall back to a row-major-style mix of
+// the first three coordinates (locality in the leading dimensions).
+func MortonOfPoint(p, origin []int64) uint64 {
+	var c [3]uint64
+	for d := 0; d < len(p) && d < 3; d++ {
+		v := p[d] - origin[d]
+		if v < 0 {
+			v = 0
+		}
+		c[d] = uint64(v)
+	}
+	return Morton3D(c[0], c[1], c[2])
+}

@@ -1,0 +1,115 @@
+package geometry
+
+import "fmt"
+
+// FitPartition implements Algorithm 1 of the paper: geometric partitioning
+// and fitting of an object. While any piece covers more than maxCells grid
+// cells, it is halved along its longest dimension. The result is a set of
+// disjoint boxes that exactly cover the input and each hold at most maxCells
+// cells (unless a piece is a single cell, which can never be split further).
+//
+// The binary halving keeps pieces regular: under perfect conditions (powers
+// of two) every piece is a uniform n-dimensional block, which balances
+// metadata overhead against transfer latency as Section III-C discusses.
+func FitPartition(b Box, maxCells int64) ([]Box, error) {
+	if !b.Valid() {
+		return nil, fmt.Errorf("geometry: invalid box %v", b)
+	}
+	if maxCells <= 0 {
+		return nil, fmt.Errorf("geometry: non-positive fitting size %d", maxCells)
+	}
+	var out []Box
+	stack := []Box{b}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if cur.Volume() <= maxCells || cur.Volume() == 1 {
+			out = append(out, cur)
+			continue
+		}
+		d := cur.LongestDim()
+		if cur.Size(d) < 2 {
+			// Every dimension has extent 1 but volume > maxCells is then
+			// impossible; keep the piece defensively.
+			out = append(out, cur)
+			continue
+		}
+		a, c := cur.SplitHalf(d)
+		stack = append(stack, c, a)
+	}
+	return out, nil
+}
+
+// GridDecompose cuts the domain into a regular grid of blocks of the given
+// extents (the per-rank sub-domains the simulation writes). Blocks at the
+// upper boundary are clipped to the domain. Blocks are emitted in row-major
+// order of their grid coordinates.
+func GridDecompose(domain Box, blockSize []int64) ([]Box, error) {
+	if !domain.Valid() {
+		return nil, fmt.Errorf("geometry: invalid domain %v", domain)
+	}
+	if len(blockSize) != domain.Dims() {
+		return nil, fmt.Errorf("geometry: block dims %d != domain dims %d", len(blockSize), domain.Dims())
+	}
+	for d, s := range blockSize {
+		if s <= 0 {
+			return nil, fmt.Errorf("geometry: non-positive block size %d in dim %d", s, d)
+		}
+	}
+	dims := domain.Dims()
+	counts := make([]int64, dims)
+	total := int64(1)
+	for d := 0; d < dims; d++ {
+		counts[d] = (domain.Size(d) + blockSize[d] - 1) / blockSize[d]
+		total *= counts[d]
+	}
+	out := make([]Box, 0, total)
+	idx := make([]int64, dims)
+	for {
+		lo := make([]int64, dims)
+		hi := make([]int64, dims)
+		for d := 0; d < dims; d++ {
+			lo[d] = domain.Lo[d] + idx[d]*blockSize[d]
+			hi[d] = min64(lo[d]+blockSize[d], domain.Hi[d])
+		}
+		out = append(out, Box{Lo: lo, Hi: hi})
+		// Advance the odometer, last dimension fastest.
+		d := dims - 1
+		for d >= 0 {
+			idx[d]++
+			if idx[d] < counts[d] {
+				break
+			}
+			idx[d] = 0
+			d--
+		}
+		if d < 0 {
+			break
+		}
+	}
+	return out, nil
+}
+
+// CoverVolume returns the summed volume of the boxes; when the boxes are
+// disjoint and cover region exactly it equals region.Volume(). Used by tests
+// and by the harness to sanity-check workload decompositions.
+func CoverVolume(boxes []Box) int64 {
+	var v int64
+	for _, b := range boxes {
+		v += b.Volume()
+	}
+	return v
+}
+
+// Disjoint reports whether no two boxes in the slice intersect. O(n^2);
+// intended for validation, not hot paths.
+func Disjoint(boxes []Box) bool {
+	for i := 0; i < len(boxes); i++ {
+		for j := i + 1; j < len(boxes); j++ {
+			if boxes[i].Intersects(boxes[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,87 @@
+package gf256
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+func TestFastKernelsMatchReferenceExhaustiveCoefficients(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	src := make([]byte, 259) // odd length exercises the tail loop
+	rng.Read(src)
+	for c := 0; c < 256; c++ {
+		// MulSliceFast vs MulSlice.
+		want := make([]byte, len(src))
+		got := make([]byte, len(src))
+		MulSlice(byte(c), src, want)
+		MulSliceFast(byte(c), src, got)
+		if !bytes.Equal(want, got) {
+			t.Fatalf("MulSliceFast differs at c=%d", c)
+		}
+		// MulAddSliceFast vs MulAddSlice from the same accumulator.
+		accWant := make([]byte, len(src))
+		accGot := make([]byte, len(src))
+		rng.Read(accWant)
+		copy(accGot, accWant)
+		MulAddSlice(byte(c), src, accWant)
+		MulAddSliceFast(byte(c), src, accGot)
+		if !bytes.Equal(accWant, accGot) {
+			t.Fatalf("MulAddSliceFast differs at c=%d", c)
+		}
+	}
+}
+
+func TestFastKernelsShortSlices(t *testing.T) {
+	for n := 0; n < 8; n++ {
+		src := make([]byte, n)
+		dst := make([]byte, n)
+		ref := make([]byte, n)
+		for i := range src {
+			src[i] = byte(i*37 + 1)
+		}
+		MulSlice(0x8E, src, ref)
+		MulSliceFast(0x8E, src, dst)
+		if !bytes.Equal(ref, dst) {
+			t.Fatalf("length %d differs", n)
+		}
+	}
+}
+
+func TestFastKernelsLengthMismatchPanics(t *testing.T) {
+	for name, f := range map[string]func(){
+		"MulSliceFast":    func() { MulSliceFast(2, make([]byte, 3), make([]byte, 4)) },
+		"MulAddSliceFast": func() { MulAddSliceFast(2, make([]byte, 3), make([]byte, 4)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s mismatch did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func BenchmarkMulAddSliceReference(b *testing.B) {
+	src := make([]byte, 64*1024)
+	dst := make([]byte, 64*1024)
+	rand.New(rand.NewSource(2)).Read(src)
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulAddSlice(0x57, src, dst)
+	}
+}
+
+func BenchmarkMulAddSliceFast(b *testing.B) {
+	src := make([]byte, 64*1024)
+	dst := make([]byte, 64*1024)
+	rand.New(rand.NewSource(2)).Read(src)
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MulAddSliceFast(0x57, src, dst)
+	}
+}

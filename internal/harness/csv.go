@@ -1,0 +1,173 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"corec/internal/model"
+)
+
+// CSV emitters mirror the text formatters so reproduction data can be fed
+// straight into plotting tools. Each function writes one table with a
+// header row.
+
+func msF(d time.Duration) string {
+	return strconv.FormatFloat(float64(d)/float64(time.Millisecond), 'f', 4, 64)
+}
+
+// CSVFig2 writes the checkpoint-overhead sweep.
+func CSVFig2(w io.Writer, rows []Fig2Row) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"staged_mib", "exec_ms", "exec_corec_ms", "exec_check_ms", "checkpoint_ms", "restart_ms", "checkpoints"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		if err := cw.Write([]string{
+			strconv.FormatFloat(r.StagedMiB, 'f', 2, 64),
+			msF(r.Exec), msF(r.ExecCoREC), msF(r.ExecCheck),
+			msF(r.Checkpoint), msF(r.Restart), strconv.Itoa(r.NumCkpts),
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSVFig4 writes the analytic-model curves.
+func CSVFig4(w io.Writer, pts []model.Point, missRatios []float64) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	header := []string{"p_h", "replica", "erasure", "hybrid"}
+	for _, rm := range missRatios {
+		header = append(header, fmt.Sprintf("corec_rm%.2g", rm))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, p := range pts {
+		row := []string{
+			strconv.FormatFloat(p.Ph, 'f', 4, 64),
+			strconv.FormatFloat(p.Replica, 'f', 6, 64),
+			strconv.FormatFloat(p.Erasure, 'f', 6, 64),
+			strconv.FormatFloat(p.Hybrid, 'f', 6, 64),
+		}
+		for _, v := range p.CoREC {
+			row = append(row, strconv.FormatFloat(v, 'f', 6, 64))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSVFig8 writes the per-case mechanism comparison.
+func CSVFig8(w io.Writer, cases []CaseResult) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	if err := cw.Write([]string{"case", "mechanism", "write_ms", "read_ms", "storage_eff", "write_eff", "read_errors"}); err != nil {
+		return err
+	}
+	for _, cr := range cases {
+		for _, r := range cr.Results {
+			if err := cw.Write([]string{
+				cr.Pattern.String(), r.Label,
+				msF(r.MeanWrite), msF(r.MeanRead),
+				strconv.FormatFloat(r.Storage.Efficiency, 'f', 4, 64),
+				strconv.FormatFloat(r.WriteEfficiency, 'f', 4, 64),
+				strconv.Itoa(r.ReadErrors),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// CSVFig10 writes the per-time-step read series.
+func CSVFig10(w io.Writer, runs []Fig10Run) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	header := []string{"ts"}
+	for _, r := range runs {
+		header = append(header, r.Label)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	maxTS := 0
+	for _, r := range runs {
+		for _, s := range r.Result.Snapshot.Steps {
+			if int(s.TimeStep) > maxTS {
+				maxTS = int(s.TimeStep)
+			}
+		}
+	}
+	for ts := 1; ts <= maxTS; ts++ {
+		row := []string{strconv.Itoa(ts)}
+		for _, r := range runs {
+			val := ""
+			for _, s := range r.Result.Snapshot.Steps {
+				if int(s.TimeStep) == ts && s.ReadCount > 0 {
+					val = msF(s.MeanRead)
+				}
+			}
+			row = append(row, val)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSVS3D writes the S3D cumulative-response matrix; read selects Figure 11
+// (reads) vs Figure 12 (writes).
+func CSVS3D(w io.Writer, results []S3DResult, read bool) error {
+	cw := csv.NewWriter(w)
+	defer cw.Flush()
+	header := []string{"mechanism"}
+	for _, sr := range results {
+		header = append(header, sr.Scale.Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	var labels []string
+	seen := make(map[string]bool)
+	for _, sr := range results {
+		for _, r := range sr.Results {
+			if !seen[r.Label] {
+				seen[r.Label] = true
+				labels = append(labels, r.Label)
+			}
+		}
+	}
+	for _, label := range labels {
+		row := []string{label}
+		for _, sr := range results {
+			cell := ""
+			for _, r := range sr.Results {
+				if r.Label != label {
+					continue
+				}
+				var cum time.Duration
+				if read {
+					cum = time.Duration(float64(r.Snapshot.ReadTotal) / float64(maxI64(1, countRanks(r, true))))
+				} else {
+					cum = time.Duration(float64(r.Snapshot.WriteTotal) / float64(maxI64(1, countRanks(r, false))))
+				}
+				cell = strconv.FormatFloat(cum.Seconds(), 'f', 6, 64)
+			}
+			row = append(row, cell)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,243 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"corec/internal/model"
+)
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d)/float64(time.Millisecond))
+}
+
+// WriteFig2 renders the checkpoint-overhead table (Figure 2).
+func WriteFig2(w io.Writer, rows []Fig2Row) {
+	fmt.Fprintln(w, "Figure 2: impact of checkpointing on staging-based workflows")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "staged(MiB)\tExec(ms)\tExec-CoREC(ms)\tExec-check(ms)\tCheckpoint(ms)\tRestart(ms)\t#ckpts\tcheck-overhead")
+	for _, r := range rows {
+		overhead := 0.0
+		if r.Exec > 0 {
+			overhead = float64(r.ExecCheck-r.Exec) / float64(r.Exec) * 100
+		}
+		fmt.Fprintf(tw, "%.1f\t%s\t%s\t%s\t%s\t%s\t%d\t%.1f%%\n",
+			r.StagedMiB, ms(r.Exec), ms(r.ExecCoREC), ms(r.ExecCheck),
+			ms(r.Checkpoint), ms(r.Restart), r.NumCkpts, overhead)
+	}
+	tw.Flush()
+}
+
+// WriteFig4 renders the analytic-model curves (Figure 4) as a table of
+// relative write cost versus hot-data fraction.
+func WriteFig4(w io.Writer, pts []model.Point) {
+	fmt.Fprintln(w, "Figure 4: analytic relative write cost vs hot-data fraction (RS(4,3))")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "P_h\tC_replica\tC_erasure\tC_hybrid\tCoREC(rm=0)\tCoREC(rm=0.2)\tCoREC(rm=0.4)")
+	for _, p := range pts {
+		fmt.Fprintf(tw, "%.2f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\t%.3f\n",
+			p.Ph, p.Replica, p.Erasure, p.Hybrid, p.CoREC[0], p.CoREC[1], p.CoREC[2])
+	}
+	tw.Flush()
+}
+
+// WriteFig8 renders the per-case mechanism comparison (Figure 8): average
+// write/read response time and write efficiency.
+func WriteFig8(w io.Writer, cases []CaseResult) {
+	for _, cr := range cases {
+		fmt.Fprintf(w, "Figure 8, %v:\n", cr.Pattern)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "mechanism\twrite(ms)\tread(ms)\tstorage-eff\twrite-eff(ms/eff)\tread-errors")
+		for _, r := range cr.Results {
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%.3f\t%.2f\t%d\n",
+				r.Label, ms(r.MeanWrite), ms(r.MeanRead),
+				r.Storage.Efficiency, r.WriteEfficiency, r.ReadErrors)
+		}
+		tw.Flush()
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteFig9 renders the execution-time breakdown (Figure 9) for the given
+// case results: transport / metadata / encode / decode / classify.
+func WriteFig9(w io.Writer, cases []CaseResult) {
+	for _, cr := range cases {
+		if strings.Contains(cr.Pattern.String(), "case5") {
+			continue // Figure 9 covers the write cases 1-4
+		}
+		fmt.Fprintf(w, "Figure 9, %v (total phase seconds across servers):\n", cr.Pattern)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "mechanism\ttransport(ms)\tmetadata(ms)\tencode(ms)\tdecode(ms)\tclassify(ms)")
+		for _, r := range cr.Results {
+			s := r.Snapshot
+			fmt.Fprintf(tw, "%s\t%s\t%s\t%s\t%s\t%s\n", r.Label,
+				ms(s.PhaseTotal[0]), ms(s.PhaseTotal[1]), ms(s.PhaseTotal[2]),
+				ms(s.PhaseTotal[3]), ms(s.PhaseTotal[4]))
+		}
+		tw.Flush()
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteFig10 renders the per-time-step read response series (Figure 10).
+func WriteFig10(w io.Writer, runs []Fig10Run) {
+	fmt.Fprintln(w, "Figure 10: per-time-step read response (ms); failures at TS 4/6, recoveries from TS 8/12")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	header := "TS"
+	for _, r := range runs {
+		header += "\t" + r.Label
+	}
+	fmt.Fprintln(tw, header)
+	maxTS := 0
+	for _, r := range runs {
+		for _, s := range r.Result.Snapshot.Steps {
+			if int(s.TimeStep) > maxTS {
+				maxTS = int(s.TimeStep)
+			}
+		}
+	}
+	for ts := 1; ts <= maxTS; ts++ {
+		row := fmt.Sprintf("%d", ts)
+		for _, r := range runs {
+			val := "-"
+			for _, s := range r.Result.Snapshot.Steps {
+				if int(s.TimeStep) == ts && s.ReadCount > 0 {
+					val = ms(s.MeanRead)
+				}
+			}
+			row += "\t" + val
+		}
+		fmt.Fprintln(tw, row)
+	}
+	tw.Flush()
+}
+
+// WriteTableII renders the scaled Table II configuration used by the S3D
+// runs.
+func WriteTableII(w io.Writer, results []S3DResult) {
+	fmt.Fprintln(w, "Table II (scaled): S3D workflow configurations")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "scale\twriters\tstaging\treaders\tdomain\tdata/step(MiB)")
+	for _, sr := range results {
+		sc := sr.Scale
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%dx%dx%d\t%.1f\n",
+			sc.Name, sc.Writers, sc.Staging, sc.Readers,
+			sc.Domain.Size(0), sc.Domain.Size(1), sc.Domain.Size(2),
+			float64(sc.Domain.Volume()*8)/(1<<20))
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// WriteFig11 renders the cumulative read response comparison (Figure 11).
+func WriteFig11(w io.Writer, results []S3DResult) {
+	fmt.Fprintln(w, "Figure 11: cumulative read response time (s) per reader rank, S3D workflow")
+	writeS3DTable(w, results, true)
+}
+
+// WriteFig12 renders the cumulative write response comparison (Figure 12).
+func WriteFig12(w io.Writer, results []S3DResult) {
+	fmt.Fprintln(w, "Figure 12: cumulative write response time (s) per writer rank, S3D workflow")
+	writeS3DTable(w, results, false)
+}
+
+func writeS3DTable(w io.Writer, results []S3DResult, read bool) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	header := "mechanism"
+	for _, sr := range results {
+		header += "\t" + sr.Scale.Name
+	}
+	fmt.Fprintln(tw, header)
+	if len(results) == 0 {
+		tw.Flush()
+		return
+	}
+	// Mechanism lists can differ per scale (e.g. +2f variants are skipped
+	// where only one coding group exists); key rows by label.
+	var labels []string
+	seen := make(map[string]bool)
+	for _, sr := range results {
+		for _, r := range sr.Results {
+			if !seen[r.Label] {
+				seen[r.Label] = true
+				labels = append(labels, r.Label)
+			}
+		}
+	}
+	for _, label := range labels {
+		row := label
+		for _, sr := range results {
+			var r *Result
+			for _, cand := range sr.Results {
+				if cand.Label == label {
+					r = cand
+					break
+				}
+			}
+			if r == nil {
+				row += "\t-"
+				continue
+			}
+			var cum time.Duration
+			if read {
+				cum = time.Duration(float64(r.Snapshot.ReadTotal) / float64(maxI64(1, countRanks(r, true))))
+			} else {
+				cum = time.Duration(float64(r.Snapshot.WriteTotal) / float64(maxI64(1, countRanks(r, false))))
+			}
+			row += fmt.Sprintf("\t%.3f", cum.Seconds())
+		}
+		fmt.Fprintln(tw, row)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// countRanks estimates the number of parallel ranks from per-step counts so
+// cumulative time is "per rank" rather than summed across all ranks.
+func countRanks(r *Result, read bool) int64 {
+	var maxPerStep int64
+	steps := int64(0)
+	for _, s := range r.Snapshot.Steps {
+		c := s.WriteCount
+		if read {
+			c = s.ReadCount
+		}
+		if c > maxPerStep {
+			maxPerStep = c
+		}
+		if c > 0 {
+			steps++
+		}
+	}
+	if steps == 0 {
+		return 1
+	}
+	// Total ops / steps with ops = ops per step; treat each op as one rank
+	// slot. Normalizing by ops-per-step yields per-rank cumulative time.
+	if read {
+		return maxPerStep
+	}
+	return maxPerStep
+}
+
+func maxI64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// WriteSummary renders a one-line-per-result overview.
+func WriteSummary(w io.Writer, results []*Result) {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "label\twrite(ms)\tread(ms)\teff\telapsed\tdemote\tpromote\treadErr")
+	for _, r := range results {
+		fmt.Fprintf(tw, "%s\t%s\t%s\t%.3f\t%v\t%d\t%d\t%d\n",
+			r.Label, ms(r.MeanWrite), ms(r.MeanRead), r.Storage.Efficiency,
+			r.Elapsed.Round(time.Millisecond), r.Demotions, r.Promotions, r.ReadErrors)
+	}
+	tw.Flush()
+}

@@ -1,0 +1,485 @@
+// Package harness drives the paper's experiments: it builds staging
+// clusters, executes workloads with parallel writer/reader ranks, injects
+// failures and recoveries, and collects the response-time and breakdown
+// statistics each figure reports. The cmd/corec-bench binary and the
+// repository's benchmark suite are thin wrappers over this package.
+package harness
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"corec"
+	"corec/internal/checkpoint"
+	"corec/internal/classifier"
+	"corec/internal/failure"
+	"corec/internal/geometry"
+	"corec/internal/metrics"
+	"corec/internal/ndarray"
+	"corec/internal/recovery"
+	"corec/internal/simnet"
+	"corec/internal/types"
+	"corec/internal/workload"
+)
+
+// FailureScenario selects the failure/recovery treatment of a run.
+type FailureScenario int
+
+// Failure scenarios, matching the Figure 8 legend.
+const (
+	// NoFailures runs failure-free.
+	NoFailures FailureScenario = iota
+	// Degraded kills servers mid-run with no replacement: reads take the
+	// degraded path for the rest of the run (CoREC+1d / CoREC+2d).
+	Degraded
+	// LazyRecovery kills servers and later joins replacements using
+	// CoREC's lazy scheme (CoREC+1f / CoREC+2f).
+	LazyRecovery
+	// AggressiveRecovery kills servers and recovers everything immediately
+	// (Erasure+1f / Erasure+2f baseline).
+	AggressiveRecovery
+)
+
+// String implements fmt.Stringer.
+func (f FailureScenario) String() string {
+	switch f {
+	case Degraded:
+		return "degraded"
+	case LazyRecovery:
+		return "lazy"
+	case AggressiveRecovery:
+		return "aggressive"
+	default:
+		return "none"
+	}
+}
+
+// Options configures one experiment run.
+type Options struct {
+	// Label names the run in reports (e.g. "CoREC+1f").
+	Label string
+	// Servers is the staging server count (Table I uses 8).
+	Servers int
+	// Writers and Readers are the parallel client rank counts.
+	Writers, Readers int
+	// Mode is the resilience policy.
+	Mode corec.Mode
+	// Pattern and workload geometry.
+	Pattern   workload.Pattern
+	Domain    geometry.Box
+	BlockSize []int64
+	TimeSteps int
+	// Failures is the number of servers to kill (with FailureScenario).
+	Failures int
+	Scenario FailureScenario
+	// Link is the fabric model; zero = free.
+	Link simnet.LinkModel
+	// ElemSize is the array element width (8 = float64).
+	ElemSize int
+	// Seed drives workload and policy randomness.
+	Seed int64
+	// CheckpointPeriod, when positive, attaches the Checkpoint/Restart
+	// baseline: the staged data is checkpointed to the simulated PFS at
+	// this period of workflow time (Figure 2).
+	CheckpointPeriod time.Duration
+	// MaxCheckpoints caps the number of checkpoints (0 = unlimited).
+	MaxCheckpoints int
+	// PFS is the parallel-file-system model for checkpointing and the PFS
+	// I/O baseline.
+	PFS simnet.PFSModel
+	// MTBF for the lazy-recovery deadline.
+	MTBF time.Duration
+	// StorageEfficiencyMin overrides the constraint S (default 0.67; set
+	// negative to disable).
+	StorageEfficiencyMin float64
+	// HelperLoadDelta overrides encode-delegation tuning: 0 keeps the
+	// cluster default, negative disables delegation (ablation).
+	HelperLoadDelta int64
+	// Classifier overrides the CoREC classifier configuration when
+	// non-zero (ablation of the spatial/temporal rules).
+	Classifier classifier.Config
+	// Verify re-reads every write and checks payload integrity (slower;
+	// used by tests).
+	Verify bool
+}
+
+// Result captures one run's measurements.
+type Result struct {
+	Label string
+	// MeanWrite and MeanRead are the client-observed response times.
+	MeanWrite, MeanRead time.Duration
+	// WriteEfficiency is the paper's metric: write response time divided
+	// by storage efficiency (lower is better).
+	WriteEfficiency float64
+	// Storage is the end-of-run storage accounting.
+	Storage corec.StorageReport
+	// Snapshot is the full metrics snapshot (phase breakdowns, series).
+	Snapshot *metrics.Snapshot
+	// Elapsed is the total workflow wall time.
+	Elapsed time.Duration
+	// CheckpointTime and Checkpoints report the Figure 2 baseline's cost.
+	CheckpointTime time.Duration
+	Checkpoints    int
+	// RestartTime is the modelled global-restart cost (Figure 2).
+	RestartTime time.Duration
+	// Demotions and Promotions count CoREC transitions.
+	Demotions, Promotions int
+	// ReadErrors counts failed reads (should be zero within tolerance).
+	ReadErrors int
+}
+
+func (o *Options) withDefaults() Options {
+	out := *o
+	if out.Servers == 0 {
+		out.Servers = 8
+	}
+	if out.Writers == 0 {
+		out.Writers = 8
+	}
+	if out.Readers == 0 {
+		out.Readers = 4
+	}
+	if !out.Domain.Valid() {
+		out.Domain = geometry.Box3D(0, 0, 0, 64, 64, 64)
+	}
+	if out.BlockSize == nil {
+		out.BlockSize = []int64{16, 16, 16}
+	}
+	if out.TimeSteps == 0 {
+		out.TimeSteps = 20
+	}
+	if out.ElemSize == 0 {
+		out.ElemSize = 8
+	}
+	if out.MTBF == 0 {
+		out.MTBF = 4 * time.Second
+	}
+	if out.Label == "" {
+		out.Label = fmt.Sprintf("%v/%v", out.Mode, out.Scenario)
+	}
+	return out
+}
+
+// clusterAdapter lets the failure.Schedule drive a corec.Cluster.
+type clusterAdapter struct {
+	c    *corec.Cluster
+	mode recovery.Mode
+	wg   *sync.WaitGroup
+}
+
+func (a *clusterAdapter) Kill(id types.ServerID) { a.c.Kill(id) }
+
+func (a *clusterAdapter) Alive(id types.ServerID) bool { return a.c.Alive(id) }
+
+func (a *clusterAdapter) Recover(id types.ServerID) {
+	srv, err := a.c.Replace(id)
+	if err != nil {
+		return
+	}
+	a.wg.Add(1)
+	go func() {
+		defer a.wg.Done()
+		srv.RunRecovery(context.Background(), a.mode) //nolint:errcheck
+	}()
+}
+
+// Run executes one experiment and returns its measurements.
+func Run(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	wl, err := workload.Generate(workload.Config{
+		Pattern:   opts.Pattern,
+		Domain:    opts.Domain,
+		BlockSize: opts.BlockSize,
+		TimeSteps: opts.TimeSteps,
+		Var:       "field",
+		Seed:      opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return execute(opts, wl)
+}
+
+// Replay executes a pre-built workload (e.g. one loaded from a trace)
+// under the given options; workload geometry overrides the options'.
+func Replay(opts Options, wl *workload.Workload) (*Result, error) {
+	opts = opts.withDefaults()
+	// Derive the domain from the trace so the classifier's spatial rule
+	// has correct bounds.
+	var domain geometry.Box
+	first := true
+	for _, step := range wl.Steps {
+		for _, b := range append(append([]geometry.Box{}, step.Writes...), step.Reads...) {
+			if first {
+				domain = b.Clone()
+				first = false
+			} else {
+				domain = domain.Union(b)
+			}
+		}
+	}
+	if domain.Valid() {
+		opts.Domain = domain
+	}
+	if wl.Cfg.Var == "" {
+		wl.Cfg.Var = "field"
+	}
+	return execute(opts, wl)
+}
+
+func execute(opts Options, wl *workload.Workload) (*Result, error) {
+	ccfg := corec.DefaultConfig(opts.Servers)
+	ccfg.Mode = opts.Mode
+	ccfg.Domain = opts.Domain
+	ccfg.Link = opts.Link
+	ccfg.ElemSize = opts.ElemSize
+	ccfg.Seed = opts.Seed
+	ccfg.MTBF = opts.MTBF
+	if opts.StorageEfficiencyMin != 0 {
+		ccfg.StorageEfficiencyMin = opts.StorageEfficiencyMin
+		if ccfg.StorageEfficiencyMin < 0 {
+			ccfg.StorageEfficiencyMin = 0
+		}
+	}
+	if opts.Scenario == AggressiveRecovery {
+		ccfg.RecoveryMode = corec.RecoveryAggressive
+	}
+	if opts.HelperLoadDelta != 0 {
+		ccfg.HelperLoadDelta = opts.HelperLoadDelta
+	}
+	if opts.Classifier.Window != 0 || opts.Classifier.HotThreshold != 0 {
+		ccfg.Classifier = opts.Classifier
+	}
+	cluster, err := corec.NewCluster(ccfg)
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Close()
+
+	sched := buildSchedule(opts)
+	recMode := recovery.Lazy
+	if opts.Scenario == AggressiveRecovery {
+		recMode = recovery.Aggressive
+	}
+	var recWG sync.WaitGroup
+	adapter := &clusterAdapter{c: cluster, mode: recMode, wg: &recWG}
+
+	var cpRunner *checkpoint.Runner
+	var cp *checkpoint.Checkpointer
+	if opts.CheckpointPeriod > 0 {
+		cp = checkpoint.New(opts.PFS)
+		cpRunner = checkpoint.NewRunner(cp, opts.CheckpointPeriod)
+		cpRunner.MaxCheckpoints = opts.MaxCheckpoints
+	}
+
+	res := &Result{Label: opts.Label}
+	writers := makeClients(cluster, opts.Writers)
+	readers := makeClients(cluster, opts.Readers)
+	start := time.Now()
+
+	var demoted, promoted int
+	for _, step := range wl.Steps {
+		if sched != nil {
+			sched.Advance(step.TS, adapter)
+		}
+		runWrites(cluster, writers, wl.Cfg.Var, step, opts, res)
+		runReads(cluster, readers, wl.Cfg.Var, step, opts, res)
+		d, p := cluster.EndTimeStep(step.TS)
+		demoted += d
+		promoted += p
+		if cpRunner != nil {
+			cpRunner.Tick(time.Since(start), cluster)
+		}
+	}
+	recWG.Wait()
+	res.Elapsed = time.Since(start)
+	res.Demotions, res.Promotions = demoted, promoted
+	res.Storage = cluster.StorageReport()
+	res.Snapshot = cluster.Collector().Snapshot()
+	res.MeanWrite = res.Snapshot.MeanWrite()
+	res.MeanRead = res.Snapshot.MeanRead()
+	if res.Storage.Efficiency > 0 {
+		res.WriteEfficiency = float64(res.MeanWrite) / res.Storage.Efficiency / float64(time.Millisecond)
+	}
+	if cp != nil {
+		n, _, total := cp.Stats()
+		res.Checkpoints = n
+		res.CheckpointTime = total
+		if n > 0 {
+			if d, _, err := cp.Restart(); err == nil {
+				res.RestartTime = d
+			}
+		}
+	}
+	return res, nil
+}
+
+func buildSchedule(opts Options) *failure.Schedule {
+	if opts.Scenario == NoFailures || opts.Failures == 0 {
+		return nil
+	}
+	// Victims: spread across distinct groups; the schedule mirrors Figure
+	// 10 (failures at steps 4 and 6, recoveries at 8 and 12).
+	a := types.ServerID(1 % opts.Servers)
+	b := types.ServerID(5 % opts.Servers)
+	if b == a {
+		b = types.ServerID((int(a) + 1) % opts.Servers)
+	}
+	events := []failure.Event{{TimeStep: 4, Kind: failure.Kill, Server: a}}
+	if opts.Failures >= 2 {
+		events = append(events, failure.Event{TimeStep: 6, Kind: failure.Kill, Server: b})
+	}
+	if opts.Scenario != Degraded {
+		events = append(events, failure.Event{TimeStep: 8, Kind: failure.Recover, Server: a})
+		if opts.Failures >= 2 {
+			events = append(events, failure.Event{TimeStep: 12, Kind: failure.Recover, Server: b})
+		}
+	}
+	return failure.NewSchedule(events)
+}
+
+func makeClients(c *corec.Cluster, n int) []*corec.Client {
+	out := make([]*corec.Client, n)
+	for i := range out {
+		out[i] = c.NewClient()
+	}
+	return out
+}
+
+// runWrites distributes the step's blocks round-robin over the writer
+// ranks, which write concurrently (each block is one Put).
+func runWrites(c *corec.Cluster, writers []*corec.Client, varName string, step workload.Step, opts Options, res *Result) {
+	if len(step.Writes) == 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	for w := range writers {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(opts.Seed + int64(step.TS)*1000 + int64(w)))
+			for i := w; i < len(step.Writes); i += len(writers) {
+				box := step.Writes[i]
+				buf := make([]byte, ndarray.BufferSize(box, opts.ElemSize))
+				rng.Read(buf)
+				writers[w].Put(context.Background(), varName, box, step.TS, buf) //nolint:errcheck
+			}
+		}(w)
+	}
+	wg.Wait()
+}
+
+// runReads splits each read region across the reader ranks along the first
+// dimension, mirroring a parallel analysis application.
+func runReads(c *corec.Cluster, readers []*corec.Client, varName string, step workload.Step, opts Options, res *Result) {
+	if len(step.Reads) == 0 {
+		return
+	}
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	for _, region := range step.Reads {
+		pieces := splitRegion(region, len(readers))
+		for i, piece := range pieces {
+			wg.Add(1)
+			go func(r int, piece geometry.Box) {
+				defer wg.Done()
+				if _, err := readers[r%len(readers)].Get(context.Background(), varName, piece, step.TS); err != nil {
+					mu.Lock()
+					res.ReadErrors++
+					mu.Unlock()
+				}
+			}(i, piece)
+		}
+	}
+	wg.Wait()
+}
+
+// splitRegion cuts a box into up to n contiguous slabs along its longest
+// dimension.
+func splitRegion(b geometry.Box, n int) []geometry.Box {
+	if n <= 1 {
+		return []geometry.Box{b}
+	}
+	d := b.LongestDim()
+	size := b.Size(d)
+	if size < int64(n) {
+		n = int(size)
+	}
+	out := make([]geometry.Box, 0, n)
+	for i := 0; i < n; i++ {
+		lo := b.Lo[d] + size*int64(i)/int64(n)
+		hi := b.Lo[d] + size*int64(i+1)/int64(n)
+		if lo >= hi {
+			continue
+		}
+		piece := b.Clone()
+		piece.Lo[d] = lo
+		piece.Hi[d] = hi
+		out = append(out, piece)
+	}
+	return out
+}
+
+// RunPFSBaseline models the paper's "S3D without data staging" runs:
+// writers persist their blocks straight to the parallel file system and
+// readers pull them back, sharing the PFS's aggregate bandwidth. It
+// produces the same Result shape as Run for side-by-side reporting.
+func RunPFSBaseline(opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	wl, err := workload.Generate(workload.Config{
+		Pattern:   opts.Pattern,
+		Domain:    opts.Domain,
+		BlockSize: opts.BlockSize,
+		TimeSteps: opts.TimeSteps,
+		Var:       "field",
+		Seed:      opts.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	col := metrics.NewCollector()
+	start := time.Now()
+	for _, step := range wl.Steps {
+		var wg sync.WaitGroup
+		for w := 0; w < opts.Writers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				for i := w; i < len(step.Writes); i += opts.Writers {
+					size := int(step.Writes[i].Volume()) * opts.ElemSize
+					t0 := time.Now()
+					time.Sleep(opts.PFS.WriteDelay(size, opts.Writers))
+					col.RecordWrite(int64(step.TS), time.Since(t0))
+				}
+			}(w)
+		}
+		wg.Wait()
+		for _, region := range step.Reads {
+			pieces := splitRegion(region, opts.Readers)
+			var rg sync.WaitGroup
+			for _, piece := range pieces {
+				rg.Add(1)
+				go func(piece geometry.Box) {
+					defer rg.Done()
+					size := int(piece.Volume()) * opts.ElemSize
+					t0 := time.Now()
+					time.Sleep(opts.PFS.ReadDelay(size, opts.Readers))
+					col.RecordRead(int64(step.TS), time.Since(t0))
+				}(piece)
+			}
+			rg.Wait()
+		}
+	}
+	snap := col.Snapshot()
+	return &Result{
+		Label:     opts.Label,
+		MeanWrite: snap.MeanWrite(),
+		MeanRead:  snap.MeanRead(),
+		Snapshot:  snap,
+		Elapsed:   time.Since(start),
+		Storage:   corec.StorageReport{Efficiency: 1},
+	}, nil
+}

@@ -1,0 +1,8 @@
+//go:build race
+
+package harness
+
+// raceEnabled reports whether the race detector is compiled in; some
+// ordering assertions against pure cost models are skipped under -race
+// because instrumented execution inflates only the real code paths.
+const raceEnabled = true

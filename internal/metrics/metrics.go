@@ -1,0 +1,196 @@
+// Package metrics collects the timing evidence the paper reports: average
+// read/write response times (Figure 8, 11, 12), per-phase breakdowns of
+// transport / metadata / encode / classify time (Figure 9), and per-time-step
+// response series (Figure 10). All collectors are safe for concurrent use by
+// the staging servers and client goroutines.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Bucket names a phase of request processing, matching Figure 9's legend.
+type Bucket int
+
+// Phase buckets.
+const (
+	Transport Bucket = iota // data movement between servers
+	Metadata                // distributed metadata (directory) updates
+	Encode                  // erasure encoding work
+	Decode                  // reconstruction work (degraded reads, recovery)
+	Classify                // CoREC data classification
+	numBuckets
+)
+
+var bucketNames = [...]string{"transport", "metadata", "encode", "decode", "classify"}
+
+// String implements fmt.Stringer.
+func (b Bucket) String() string {
+	if int(b) < len(bucketNames) {
+		return bucketNames[b]
+	}
+	return fmt.Sprintf("Bucket(%d)", int(b))
+}
+
+// Collector accumulates phase durations and read/write response times.
+// The zero value is NOT usable; call NewCollector.
+type Collector struct {
+	phaseNanos [numBuckets]atomic.Int64
+	phaseCount [numBuckets]atomic.Int64
+
+	writeNanos atomic.Int64
+	writeCount atomic.Int64
+	readNanos  atomic.Int64
+	readCount  atomic.Int64
+
+	mu     sync.Mutex
+	series map[int64]*stepStats // by time step
+}
+
+type stepStats struct {
+	readNanos, readCount   int64
+	writeNanos, writeCount int64
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{series: make(map[int64]*stepStats)}
+}
+
+// Add charges d to the given phase bucket.
+func (c *Collector) Add(b Bucket, d time.Duration) {
+	c.phaseNanos[b].Add(int64(d))
+	c.phaseCount[b].Add(1)
+}
+
+// Time runs f and charges its duration to bucket b.
+func (c *Collector) Time(b Bucket, f func()) {
+	start := time.Now()
+	f()
+	c.Add(b, time.Since(start))
+}
+
+// RecordWrite records one client-observed write response time at time step ts.
+func (c *Collector) RecordWrite(ts int64, d time.Duration) {
+	c.writeNanos.Add(int64(d))
+	c.writeCount.Add(1)
+	c.step(ts, func(s *stepStats) {
+		s.writeNanos += int64(d)
+		s.writeCount++
+	})
+}
+
+// RecordRead records one client-observed read response time at time step ts.
+func (c *Collector) RecordRead(ts int64, d time.Duration) {
+	c.readNanos.Add(int64(d))
+	c.readCount.Add(1)
+	c.step(ts, func(s *stepStats) {
+		s.readNanos += int64(d)
+		s.readCount++
+	})
+}
+
+func (c *Collector) step(ts int64, f func(*stepStats)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.series[ts]
+	if s == nil {
+		s = &stepStats{}
+		c.series[ts] = s
+	}
+	f(s)
+}
+
+// Snapshot is an immutable copy of a collector's state.
+type Snapshot struct {
+	// Phase durations and counts by bucket.
+	PhaseTotal [numBuckets]time.Duration
+	PhaseCount [numBuckets]int64
+	// Aggregate response times.
+	WriteTotal time.Duration
+	WriteCount int64
+	ReadTotal  time.Duration
+	ReadCount  int64
+	// Per-time-step means in time-step order.
+	Steps []StepSnapshot
+}
+
+// StepSnapshot is the mean response time at one time step.
+type StepSnapshot struct {
+	TimeStep   int64
+	MeanWrite  time.Duration
+	WriteCount int64
+	MeanRead   time.Duration
+	ReadCount  int64
+}
+
+// Phase returns the total duration charged to bucket b.
+func (s *Snapshot) Phase(b Bucket) time.Duration { return s.PhaseTotal[b] }
+
+// MeanWrite returns the mean write response time (0 when no writes).
+func (s *Snapshot) MeanWrite() time.Duration {
+	if s.WriteCount == 0 {
+		return 0
+	}
+	return s.WriteTotal / time.Duration(s.WriteCount)
+}
+
+// MeanRead returns the mean read response time (0 when no reads).
+func (s *Snapshot) MeanRead() time.Duration {
+	if s.ReadCount == 0 {
+		return 0
+	}
+	return s.ReadTotal / time.Duration(s.ReadCount)
+}
+
+// Snapshot captures the collector state.
+func (c *Collector) Snapshot() *Snapshot {
+	out := &Snapshot{}
+	for b := Bucket(0); b < numBuckets; b++ {
+		out.PhaseTotal[b] = time.Duration(c.phaseNanos[b].Load())
+		out.PhaseCount[b] = c.phaseCount[b].Load()
+	}
+	out.WriteTotal = time.Duration(c.writeNanos.Load())
+	out.WriteCount = c.writeCount.Load()
+	out.ReadTotal = time.Duration(c.readNanos.Load())
+	out.ReadCount = c.readCount.Load()
+
+	c.mu.Lock()
+	steps := make([]int64, 0, len(c.series))
+	for ts := range c.series {
+		steps = append(steps, ts)
+	}
+	sort.Slice(steps, func(i, j int) bool { return steps[i] < steps[j] })
+	for _, ts := range steps {
+		st := c.series[ts]
+		ss := StepSnapshot{TimeStep: ts, WriteCount: st.writeCount, ReadCount: st.readCount}
+		if st.writeCount > 0 {
+			ss.MeanWrite = time.Duration(st.writeNanos / st.writeCount)
+		}
+		if st.readCount > 0 {
+			ss.MeanRead = time.Duration(st.readNanos / st.readCount)
+		}
+		out.Steps = append(out.Steps, ss)
+	}
+	c.mu.Unlock()
+	return out
+}
+
+// Reset clears all accumulated state.
+func (c *Collector) Reset() {
+	for b := Bucket(0); b < numBuckets; b++ {
+		c.phaseNanos[b].Store(0)
+		c.phaseCount[b].Store(0)
+	}
+	c.writeNanos.Store(0)
+	c.writeCount.Store(0)
+	c.readNanos.Store(0)
+	c.readCount.Store(0)
+	c.mu.Lock()
+	c.series = make(map[int64]*stepStats)
+	c.mu.Unlock()
+}

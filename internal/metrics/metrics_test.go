@@ -1,0 +1,189 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPhaseAccumulation(t *testing.T) {
+	c := NewCollector()
+	c.Add(Encode, 10*time.Millisecond)
+	c.Add(Encode, 5*time.Millisecond)
+	c.Add(Transport, time.Millisecond)
+	s := c.Snapshot()
+	if s.Phase(Encode) != 15*time.Millisecond {
+		t.Fatalf("Encode = %v", s.Phase(Encode))
+	}
+	if s.PhaseCount[Encode] != 2 || s.PhaseCount[Transport] != 1 {
+		t.Fatal("phase counts wrong")
+	}
+	if s.Phase(Classify) != 0 {
+		t.Fatal("untouched bucket non-zero")
+	}
+}
+
+func TestTimeHelper(t *testing.T) {
+	c := NewCollector()
+	c.Time(Decode, func() { time.Sleep(2 * time.Millisecond) })
+	if c.Snapshot().Phase(Decode) < 2*time.Millisecond {
+		t.Fatal("Time under-charged the bucket")
+	}
+}
+
+func TestResponseMeans(t *testing.T) {
+	c := NewCollector()
+	c.RecordWrite(1, 10*time.Millisecond)
+	c.RecordWrite(1, 20*time.Millisecond)
+	c.RecordRead(2, 30*time.Millisecond)
+	s := c.Snapshot()
+	if s.MeanWrite() != 15*time.Millisecond {
+		t.Fatalf("MeanWrite = %v", s.MeanWrite())
+	}
+	if s.MeanRead() != 30*time.Millisecond {
+		t.Fatalf("MeanRead = %v", s.MeanRead())
+	}
+	if s.WriteCount != 2 || s.ReadCount != 1 {
+		t.Fatal("counts wrong")
+	}
+}
+
+func TestEmptyMeansAreZero(t *testing.T) {
+	s := NewCollector().Snapshot()
+	if s.MeanWrite() != 0 || s.MeanRead() != 0 {
+		t.Fatal("empty collector has non-zero means")
+	}
+}
+
+func TestSeriesOrderedByTimeStep(t *testing.T) {
+	c := NewCollector()
+	c.RecordRead(5, time.Millisecond)
+	c.RecordRead(1, 2*time.Millisecond)
+	c.RecordRead(3, 3*time.Millisecond)
+	c.RecordRead(3, 5*time.Millisecond)
+	s := c.Snapshot()
+	if len(s.Steps) != 3 {
+		t.Fatalf("got %d steps", len(s.Steps))
+	}
+	if s.Steps[0].TimeStep != 1 || s.Steps[1].TimeStep != 3 || s.Steps[2].TimeStep != 5 {
+		t.Fatalf("steps out of order: %+v", s.Steps)
+	}
+	if s.Steps[1].MeanRead != 4*time.Millisecond || s.Steps[1].ReadCount != 2 {
+		t.Fatalf("step 3 stats wrong: %+v", s.Steps[1])
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := NewCollector()
+	c.Add(Encode, time.Second)
+	c.RecordWrite(1, time.Second)
+	c.Reset()
+	s := c.Snapshot()
+	if s.Phase(Encode) != 0 || s.WriteCount != 0 || len(s.Steps) != 0 {
+		t.Fatal("Reset left state behind")
+	}
+}
+
+func TestConcurrentUse(t *testing.T) {
+	c := NewCollector()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Add(Transport, time.Microsecond)
+				c.RecordWrite(int64(j%5), time.Microsecond)
+				c.RecordRead(int64(j%5), time.Microsecond)
+			}
+		}(i)
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.WriteCount != 1600 || s.ReadCount != 1600 || s.PhaseCount[Transport] != 1600 {
+		t.Fatalf("lost updates: %+v", s)
+	}
+}
+
+func TestBucketString(t *testing.T) {
+	if Transport.String() != "transport" || Classify.String() != "classify" {
+		t.Fatal("bucket names wrong")
+	}
+	if Bucket(42).String() == "" {
+		t.Fatal("unknown bucket empty")
+	}
+}
+
+func TestReservoirSmallSampleExact(t *testing.T) {
+	r := NewReservoir(100, 1)
+	for i := 1; i <= 10; i++ {
+		r.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if r.Count() != 10 {
+		t.Fatalf("Count = %d", r.Count())
+	}
+	if got := r.Quantile(0); got != time.Millisecond {
+		t.Fatalf("min = %v", got)
+	}
+	if got := r.Quantile(1); got != 10*time.Millisecond {
+		t.Fatalf("max = %v", got)
+	}
+	if got := r.Quantile(0.5); got < 4*time.Millisecond || got > 6*time.Millisecond {
+		t.Fatalf("median = %v", got)
+	}
+}
+
+func TestReservoirSamplingApproximatesDistribution(t *testing.T) {
+	// 10k uniform observations through a 1k reservoir: the p50 estimate
+	// must land near the true median.
+	r := NewReservoir(1000, 7)
+	for i := 0; i < 10000; i++ {
+		r.Observe(time.Duration(i) * time.Microsecond)
+	}
+	p50 := r.Quantile(0.5)
+	if p50 < 4000*time.Microsecond || p50 > 6000*time.Microsecond {
+		t.Fatalf("p50 = %v, want ~5ms", p50)
+	}
+	p50n, p90, p99 := r.Percentiles()
+	if !(p50n <= p90 && p90 <= p99) {
+		t.Fatalf("percentiles not ordered: %v %v %v", p50n, p90, p99)
+	}
+}
+
+func TestReservoirEmptyAndClamping(t *testing.T) {
+	r := NewReservoir(0, 1) // size clamps to default
+	if r.Quantile(0.5) != 0 {
+		t.Fatal("empty reservoir quantile non-zero")
+	}
+	r.Observe(time.Second)
+	if r.Quantile(-1) != time.Second || r.Quantile(2) != time.Second {
+		t.Fatal("q clamping broken")
+	}
+}
+
+func TestReservoirConcurrent(t *testing.T) {
+	r := NewReservoir(256, 3)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Observe(time.Duration(i))
+			}
+		}()
+	}
+	wg.Wait()
+	if r.Count() != 8000 {
+		t.Fatalf("Count = %d", r.Count())
+	}
+}
+
+func TestLatencyDistribution(t *testing.T) {
+	d := NewLatencyDistribution(64)
+	d.Writes.Observe(time.Millisecond)
+	d.Reads.Observe(2 * time.Millisecond)
+	if d.Writes.Count() != 1 || d.Reads.Count() != 1 {
+		t.Fatal("distribution not recording")
+	}
+}

@@ -1,0 +1,93 @@
+package metrics
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Reservoir is a fixed-size uniform sample of durations (Vitter's
+// algorithm R), giving percentile estimates with bounded memory no matter
+// how many requests a run serves. Safe for concurrent use.
+type Reservoir struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	seen    int64
+	rng     *rand.Rand
+	cap     int
+}
+
+// NewReservoir builds a reservoir holding up to size samples.
+func NewReservoir(size int, seed int64) *Reservoir {
+	if size <= 0 {
+		size = 1024
+	}
+	return &Reservoir{
+		samples: make([]time.Duration, 0, size),
+		rng:     rand.New(rand.NewSource(seed)),
+		cap:     size,
+	}
+}
+
+// Observe records one duration.
+func (r *Reservoir) Observe(d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seen++
+	if len(r.samples) < r.cap {
+		r.samples = append(r.samples, d)
+		return
+	}
+	if idx := r.rng.Int63n(r.seen); idx < int64(r.cap) {
+		r.samples[idx] = d
+	}
+}
+
+// Count returns the number of observations seen (not retained).
+func (r *Reservoir) Count() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.seen
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of the retained sample,
+// using nearest-rank on the sorted sample; zero when empty.
+func (r *Reservoir) Quantile(q float64) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.samples) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	sorted := append([]time.Duration(nil), r.samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+// Percentiles returns the p50/p90/p99 summary.
+func (r *Reservoir) Percentiles() (p50, p90, p99 time.Duration) {
+	return r.Quantile(0.50), r.Quantile(0.90), r.Quantile(0.99)
+}
+
+// LatencyDistribution augments a Collector with write/read latency
+// reservoirs. The Collector stays lean (means only) for the experiment
+// hot paths; services that want tails attach one of these.
+type LatencyDistribution struct {
+	Writes *Reservoir
+	Reads  *Reservoir
+}
+
+// NewLatencyDistribution builds reservoirs of the given size.
+func NewLatencyDistribution(size int) *LatencyDistribution {
+	return &LatencyDistribution{
+		Writes: NewReservoir(size, 1),
+		Reads:  NewReservoir(size, 2),
+	}
+}

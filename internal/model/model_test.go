@@ -1,0 +1,169 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestEfficiencies(t *testing.T) {
+	p := Default() // NLevel=1, NNode=3
+	if p.Er() != 0.5 {
+		t.Fatalf("Er = %v", p.Er())
+	}
+	if p.Ee() != 0.75 {
+		t.Fatalf("Ee = %v", p.Ee())
+	}
+}
+
+func TestCostOrdering(t *testing.T) {
+	p := Default()
+	if p.Ce() <= p.Cr() {
+		t.Fatalf("Ce (%v) must exceed Cr (%v): encoding is the expensive path", p.Ce(), p.Cr())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	p := Default()
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := p
+	bad.FHot = bad.FCold
+	if bad.Validate() == nil {
+		t.Fatal("FHot == FCold accepted")
+	}
+	bad = p
+	bad.S = 1.5
+	if bad.Validate() == nil {
+		t.Fatal("S > 1 accepted")
+	}
+	bad = p
+	bad.NNode = 0
+	if bad.Validate() == nil {
+		t.Fatal("NNode = 0 accepted")
+	}
+}
+
+func TestCoRECBetweenReplicationAndErasure(t *testing.T) {
+	// With perfect classification and no binding constraint, CoREC's cost
+	// must sit between pure replication (lower bound) and erasure coding
+	// (upper bound) for all hot fractions.
+	p := Default()
+	p.S = 0 // disable the constraint
+	for ph := 0.0; ph <= 1.0; ph += 0.05 {
+		c := p.CCoREC(ph, 0)
+		if c < p.CReplica(ph)-1e-9 {
+			t.Fatalf("ph=%.2f: CoREC %v below replication %v", ph, c, p.CReplica(ph))
+		}
+		if c > p.CErasure(ph)+1e-9 {
+			t.Fatalf("ph=%.2f: CoREC %v above erasure %v", ph, c, p.CErasure(ph))
+		}
+	}
+}
+
+func TestCoRECEqualsErasureAtZeroHot(t *testing.T) {
+	// Marker 1 of Figure 4: with no hot data everything is encoded, so
+	// CoREC matches erasure coding exactly.
+	p := Default()
+	if math.Abs(p.CCoREC(0, 0)-p.CErasure(0)) > 1e-9 {
+		t.Fatalf("CCoREC(0) = %v, CErasure(0) = %v", p.CCoREC(0, 0), p.CErasure(0))
+	}
+}
+
+func TestMissRatioDegradesCoREC(t *testing.T) {
+	p := Default()
+	for _, ph := range []float64{0.1, 0.2, 0.5, 0.8} {
+		c0 := p.CCoREC(ph, 0)
+		c2 := p.CCoREC(ph, 0.2)
+		c4 := p.CCoREC(ph, 0.4)
+		if !(c0 <= c2 && c2 <= c4) {
+			t.Fatalf("ph=%.1f: costs not monotone in miss ratio: %v %v %v", ph, c0, c2, c4)
+		}
+	}
+}
+
+func TestConstraintKink(t *testing.T) {
+	// Above the constraint boundary (Marker 2), CoREC's curve runs parallel
+	// to erasure coding with a constant gap (equation 9's final term).
+	p := Default()
+	pr := p.PrConstraint()
+	if pr <= 0 || pr >= 1 {
+		t.Fatalf("P_r = %v not an interior point for the default params", pr)
+	}
+	gap1 := p.CErasure(pr+0.1) - p.CCoREC(pr+0.1, 0)
+	gap2 := p.CErasure(pr+0.3) - p.CCoREC(pr+0.3, 0)
+	if math.Abs(gap1-gap2) > 1e-9 {
+		t.Fatalf("constant-gap property violated: %v vs %v", gap1, gap2)
+	}
+	if gap1 <= 0 {
+		t.Fatal("CoREC must stay cheaper than erasure above the kink")
+	}
+}
+
+func TestCurveContinuityAtKink(t *testing.T) {
+	p := Default()
+	pr := p.PrConstraint()
+	below := p.CCoREC(pr-1e-9, 0)
+	above := p.CCoREC(pr+1e-9, 0)
+	if math.Abs(below-above) > 1e-5*math.Abs(below) {
+		t.Fatalf("cost discontinuous at constraint: %v vs %v", below, above)
+	}
+}
+
+func TestGainPeaksAtHalf(t *testing.T) {
+	// Equation (6) is proportional to ph*(1-ph): maximum gain at ph = 0.5,
+	// zero gain at the extremes.
+	p := Default()
+	if p.Gain(0) != 0 || p.Gain(1) != 0 {
+		t.Fatal("gain must vanish at the extremes")
+	}
+	if !(p.Gain(0.5) > p.Gain(0.3) && p.Gain(0.5) > p.Gain(0.7)) {
+		t.Fatal("gain not maximized at ph = 0.5")
+	}
+	if p.Gain(0.5) <= 0 {
+		t.Fatal("gain must be positive in the interior")
+	}
+}
+
+func TestFig4Curves(t *testing.T) {
+	pts, err := Fig4Curves(Default(), []float64{0, 0.2, 0.4}, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 21 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	first, last := pts[0], pts[len(pts)-1]
+	if first.Ph != 0 || last.Ph != 1 {
+		t.Fatal("x axis does not span [0,1]")
+	}
+	if math.Abs(first.Erasure-1) > 1e-9 {
+		t.Fatalf("normalization wrong: erasure at ph=0 = %v", first.Erasure)
+	}
+	for _, pt := range pts {
+		if len(pt.CoREC) != 3 {
+			t.Fatal("missing miss-ratio curves")
+		}
+		// Replication is the cheapest resilient curve everywhere.
+		if pt.Replica > pt.Erasure {
+			t.Fatal("replication costlier than erasure in the model")
+		}
+	}
+	// CoREC must beat simple hybrid in the interior (the paper's central
+	// analytic claim, equation 6).
+	mid := pts[10]
+	if mid.CoREC[0] >= mid.Hybrid {
+		t.Fatalf("CoREC (%v) not cheaper than hybrid (%v) at ph=0.5", mid.CoREC[0], mid.Hybrid)
+	}
+}
+
+func TestFig4CurvesValidation(t *testing.T) {
+	if _, err := Fig4Curves(Default(), []float64{0}, 1); err == nil {
+		t.Fatal("1 sample accepted")
+	}
+	bad := Default()
+	bad.NNode = 0
+	if _, err := Fig4Curves(bad, []float64{0}, 5); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}

@@ -1,0 +1,245 @@
+// Package policy defines the resilience policies compared throughout the
+// paper's evaluation and the decision logic each applies on the write path
+// and at time-step boundaries:
+//
+//   - None:      plain data staging, no fault tolerance (the "DataSpaces"
+//     baseline).
+//   - Replicate: every object fully replicated N_level times.
+//   - Erasure:   every object erasure coded on every write.
+//   - Hybrid:    "simple hybrid erasure coding" — replicate-vs-encode chosen
+//     randomly per write under the storage-efficiency constraint, with no
+//     data classification (Section II-D1).
+//   - CoREC:     classifier-driven hybrid (the paper's contribution).
+//
+// The package also provides the storage-efficiency arithmetic shared by the
+// runtime and the analytic model (E_r, E_e, the constraint-derived P_r).
+package policy
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"corec/internal/classifier"
+	"corec/internal/types"
+)
+
+// Mode selects a resilience policy.
+type Mode int
+
+// Policy modes.
+const (
+	None Mode = iota
+	Replicate
+	Erasure
+	Hybrid
+	CoREC
+)
+
+var modeNames = [...]string{"none", "replicate", "erasure", "hybrid", "corec"}
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if int(m) >= 0 && int(m) < len(modeNames) {
+		return modeNames[m]
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// ParseMode converts a mode name ("corec", "erasure", ...) to a Mode.
+func ParseMode(s string) (Mode, error) {
+	for i, n := range modeNames {
+		if n == s {
+			return Mode(i), nil
+		}
+	}
+	return None, fmt.Errorf("policy: unknown mode %q", s)
+}
+
+// Action is a write-path decision.
+type Action int
+
+// Write-path actions.
+const (
+	ActNone Action = iota
+	ActReplicate
+	ActEncode
+)
+
+// String implements fmt.Stringer.
+func (a Action) String() string {
+	switch a {
+	case ActReplicate:
+		return "replicate"
+	case ActEncode:
+		return "encode"
+	default:
+		return "none"
+	}
+}
+
+// Config parameterizes a policy decider.
+type Config struct {
+	Mode Mode
+	// NLevel is the resilience level: number of simultaneous failures to
+	// tolerate. Replication keeps NLevel extra copies; erasure coding uses
+	// M = NLevel parity shards.
+	NLevel int
+	// K, M are the Reed-Solomon parameters (M normally equals NLevel).
+	K, M int
+	// StorageEfficiencyMin is the paper's constraint S: the runtime must
+	// keep data/(data+redundancy) at or above this bound. Zero disables the
+	// constraint.
+	StorageEfficiencyMin float64
+	// Seed drives the Hybrid policy's random choice.
+	Seed int64
+}
+
+// ReplicationEfficiency returns E_r = 1 / (NLevel + 1).
+func ReplicationEfficiency(nLevel int) float64 {
+	return 1.0 / float64(nLevel+1)
+}
+
+// ErasureEfficiency returns E_e = k / (k + m).
+func ErasureEfficiency(k, m int) float64 {
+	return float64(k) / float64(k+m)
+}
+
+// ReplicationProbability solves the paper's constraint equation for P_r,
+// the fraction of data that may be replicated while overall efficiency
+// stays at the bound S:
+//
+//	P_r = E_r (S - E_e) / (S (E_r - E_e))
+//
+// The result is clamped to [0, 1]; S <= E_e yields 1 (everything may be
+// replicated is impossible — S below even pure-erasure efficiency means the
+// constraint never binds, so encode-only satisfies it; the clamp to [0,1]
+// with the formula's sign handles both ends).
+func ReplicationProbability(s float64, nLevel, k, m int) float64 {
+	er := ReplicationEfficiency(nLevel)
+	ee := ErasureEfficiency(k, m)
+	if s <= 0 {
+		return 1
+	}
+	if er == ee {
+		return 1
+	}
+	pr := er * (s - ee) / (s * (er - ee))
+	if pr < 0 {
+		pr = 0
+	}
+	if pr > 1 {
+		pr = 1
+	}
+	return pr
+}
+
+// MixedEfficiency returns the storage efficiency of a mix holding dataRepl
+// bytes of replicated data and dataEnc bytes of encoded data under the
+// config's redundancy parameters (equation 7's runtime form).
+func (c Config) MixedEfficiency(dataRepl, dataEnc int64) float64 {
+	total := dataRepl + dataEnc
+	if total == 0 {
+		return 1
+	}
+	raw := float64(dataRepl)*float64(1+c.NLevel) +
+		float64(dataEnc)*float64(c.K+c.M)/float64(c.K)
+	return float64(total) / raw
+}
+
+// Decider makes the write-path and transition decisions for one staging
+// server. It is safe for concurrent use.
+type Decider struct {
+	cfg Config
+	cls *classifier.Classifier
+
+	mu  sync.Mutex
+	rng *rand.Rand
+	pr  float64 // hybrid replication probability
+}
+
+// NewDecider builds a decider; cls may be nil for every mode except CoREC.
+func NewDecider(cfg Config, cls *classifier.Classifier) (*Decider, error) {
+	if cfg.Mode == CoREC && cls == nil {
+		return nil, fmt.Errorf("policy: CoREC requires a classifier")
+	}
+	if cfg.Mode != None {
+		if cfg.NLevel < 1 {
+			return nil, fmt.Errorf("policy: NLevel %d must be >= 1", cfg.NLevel)
+		}
+		if cfg.K < 1 || cfg.M < 1 {
+			return nil, fmt.Errorf("policy: invalid RS parameters k=%d m=%d", cfg.K, cfg.M)
+		}
+	}
+	return &Decider{
+		cfg: cfg,
+		cls: cls,
+		rng: rand.New(rand.NewSource(cfg.Seed)),
+		pr:  ReplicationProbability(cfg.StorageEfficiencyMin, cfg.NLevel, cfg.K, cfg.M),
+	}, nil
+}
+
+// Config returns the decider's configuration.
+func (d *Decider) Config() Config { return d.cfg }
+
+// Classifier returns the CoREC classifier (nil for other modes).
+func (d *Decider) Classifier() *classifier.Classifier { return d.cls }
+
+// OnPut decides the resilience action for a write of the object at time
+// step ts, given the server's current storage efficiency over its primary
+// objects. For CoREC, fresh writes are hot (Section II-C) and replicated
+// unless the storage constraint is already violated.
+func (d *Decider) OnPut(id types.ObjectID, ts types.Version, currentEff float64) Action {
+	switch d.cfg.Mode {
+	case None:
+		return ActNone
+	case Replicate:
+		return ActReplicate
+	case Erasure:
+		return ActEncode
+	case Hybrid:
+		d.mu.Lock()
+		roll := d.rng.Float64()
+		d.mu.Unlock()
+		if roll < d.pr {
+			return ActReplicate
+		}
+		return ActEncode
+	case CoREC:
+		d.cls.RecordWrite(id, ts)
+		if d.cfg.StorageEfficiencyMin > 0 && currentEff < d.cfg.StorageEfficiencyMin {
+			return ActEncode
+		}
+		return ActReplicate
+	default:
+		return ActNone
+	}
+}
+
+// Transitions returns the state changes to apply at the end of time step
+// ts: objects to demote to erasure coding and objects to promote back to
+// replication. Only CoREC produces transitions; promotions are capped by
+// maxPromote (the caller computes how many fit under the constraint).
+func (d *Decider) Transitions(ts types.Version, maxPromote int) (toEncode, toReplicate []types.ObjectID) {
+	if d.cfg.Mode != CoREC {
+		return nil, nil
+	}
+	d.cls.AdvanceTo(ts)
+	for _, c := range d.cls.CoolCandidates(1 << 30) {
+		toEncode = append(toEncode, c.ID)
+	}
+	if maxPromote > 0 {
+		for _, c := range d.cls.HeatCandidates(maxPromote) {
+			// Only promote objects that are actually hot again; a high
+			// historic refcount alone is not evidence of current heat.
+			if cl, _ := d.cls.Classify(c.ID); cl == classifier.Hot {
+				toReplicate = append(toReplicate, c.ID)
+			}
+		}
+	}
+	return toEncode, toReplicate
+}
+
+// ReplicationProbabilityValue exposes the hybrid policy's P_r (for tests
+// and the harness's reporting).
+func (d *Decider) ReplicationProbabilityValue() float64 { return d.pr }

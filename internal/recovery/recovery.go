@@ -1,0 +1,172 @@
+// Package recovery implements the planning and pacing logic of CoREC's
+// data-recovery schemes (Section III-D). The staging server executes the
+// plans; this package keeps the decision logic pure and unit-testable.
+//
+// Two modes exist. In *degraded mode* (failure, no replacement server yet)
+// only requested data is reconstructed on the read path and discarded after
+// serving. In *lazy recovery mode* (a replacement server has joined) objects
+// are repaired on first access, and all remaining objects are repaired in
+// the background before a deadline of MTBF/4 — late enough to avoid the
+// thundering-herd interference of aggressive recovery, early enough to keep
+// the window of double-failure vulnerability acceptable.
+package recovery
+
+import (
+	"fmt"
+	"time"
+
+	"corec/internal/types"
+)
+
+// Mode selects the recovery strategy for a cluster.
+type Mode int
+
+// Recovery strategies.
+const (
+	// Lazy is CoREC's scheme: on-access repair plus deadline-paced
+	// background repair.
+	Lazy Mode = iota
+	// Aggressive repairs everything immediately at full speed (the
+	// baseline used by the Erasure+1f/+2f comparisons).
+	Aggressive
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == Aggressive {
+		return "aggressive"
+	}
+	return "lazy"
+}
+
+// DeadlineFraction is the fraction of the MTBF within which lazy recovery
+// must complete (the paper uses MTBF/4).
+const DeadlineFraction = 0.25
+
+// Deadline returns the lazy-recovery deadline for a system with the given
+// mean time between failures.
+func Deadline(mtbf time.Duration) time.Duration {
+	return time.Duration(float64(mtbf) * DeadlineFraction)
+}
+
+// Pacer spaces background repairs so that total repairs complete by the
+// deadline, spreading load instead of bursting.
+type Pacer struct {
+	interval time.Duration
+}
+
+// NewPacer builds a pacer for total repairs within deadline. A non-positive
+// total or deadline yields a zero-interval pacer (no delays).
+func NewPacer(total int, deadline time.Duration) *Pacer {
+	if total <= 0 || deadline <= 0 {
+		return &Pacer{}
+	}
+	return &Pacer{interval: deadline / time.Duration(total)}
+}
+
+// Interval returns the gap to leave between consecutive background repairs.
+func (p *Pacer) Interval() time.Duration { return p.interval }
+
+// ShardFetchPlan lists which stripe shards to fetch to rebuild the shards a
+// failed server held.
+type ShardFetchPlan struct {
+	// Fetch lists surviving members to read (exactly K of them).
+	Fetch []types.StripeMember
+	// Rebuild lists the missing shard indexes to reconstruct.
+	Rebuild []int
+}
+
+// PlanShardRepair computes the fetch plan to rebuild the shards of stripe s
+// that lived on dead servers. Preference order for sources: data shards
+// first (they allow systematic reads with no decode when all K survive),
+// then parity. Returns an error when fewer than K members survive.
+func PlanShardRepair(s *types.StripeInfo, dead map[types.ServerID]bool) (*ShardFetchPlan, error) {
+	plan := &ShardFetchPlan{}
+	var surviving []types.StripeMember
+	for _, m := range s.Members {
+		if dead[m.Server] {
+			plan.Rebuild = append(plan.Rebuild, m.Index)
+		} else {
+			surviving = append(surviving, m)
+		}
+	}
+	if len(plan.Rebuild) == 0 {
+		return plan, nil
+	}
+	if len(surviving) < s.K {
+		return nil, fmt.Errorf("recovery: stripe %v has %d survivors, need %d", s.ID, len(surviving), s.K)
+	}
+	// Stable preference: lower shard index first (data shards precede
+	// parity by construction).
+	for i := 0; i < len(surviving); i++ {
+		for j := i + 1; j < len(surviving); j++ {
+			if surviving[j].Index < surviving[i].Index {
+				surviving[i], surviving[j] = surviving[j], surviving[i]
+			}
+		}
+	}
+	plan.Fetch = surviving[:s.K]
+	return plan, nil
+}
+
+// NeedsDecode reports whether serving the data requires reconstruction
+// (true when any fetched member is a parity shard or any data shard is
+// missing from the fetch set).
+func (p *ShardFetchPlan) NeedsDecode(k int) bool {
+	if len(p.Fetch) != k {
+		return true
+	}
+	for _, m := range p.Fetch {
+		if m.Index >= k {
+			return true
+		}
+	}
+	return false
+}
+
+// Queue is the replacement server's to-repair list. Objects repaired on
+// access are removed so the background drain skips them. Queue is not safe
+// for concurrent use; the owning server serializes access.
+type Queue struct {
+	pending map[string]struct{}
+	order   []string
+	next    int
+}
+
+// NewQueue builds a repair queue over the given object keys.
+func NewQueue(keys []string) *Queue {
+	q := &Queue{pending: make(map[string]struct{}, len(keys))}
+	for _, k := range keys {
+		if _, dup := q.pending[k]; !dup {
+			q.pending[k] = struct{}{}
+			q.order = append(q.order, k)
+		}
+	}
+	return q
+}
+
+// Len returns the number of objects still awaiting repair.
+func (q *Queue) Len() int { return len(q.pending) }
+
+// MarkRepaired removes a key (repaired on access or by the drain loop).
+// It reports whether the key was still pending.
+func (q *Queue) MarkRepaired(key string) bool {
+	if _, ok := q.pending[key]; !ok {
+		return false
+	}
+	delete(q.pending, key)
+	return true
+}
+
+// Next returns the next pending key for background repair, or "" when the
+// queue is drained.
+func (q *Queue) Next() string {
+	for q.next < len(q.order) {
+		k := q.order[q.next]
+		q.next++
+		if _, ok := q.pending[k]; ok {
+			return k
+		}
+	}
+	return ""
+}

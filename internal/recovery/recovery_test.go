@@ -1,0 +1,154 @@
+package recovery
+
+import (
+	"testing"
+	"time"
+
+	"corec/internal/types"
+)
+
+func stripe4() *types.StripeInfo {
+	return &types.StripeInfo{
+		ID: types.StripeID{Group: 0, Seq: 1},
+		K:  3, M: 1, ShardSize: 16,
+		Members: []types.StripeMember{
+			{Server: 0, Index: 0, ObjectKey: "o"},
+			{Server: 1, Index: 1},
+			{Server: 2, Index: 2},
+			{Server: 3, Index: 3},
+		},
+	}
+}
+
+func TestDeadlineIsQuarterMTBF(t *testing.T) {
+	if Deadline(40*time.Minute) != 10*time.Minute {
+		t.Fatal("deadline is not MTBF/4")
+	}
+}
+
+func TestPacerSpacing(t *testing.T) {
+	p := NewPacer(100, 10*time.Second)
+	if p.Interval() != 100*time.Millisecond {
+		t.Fatalf("interval = %v", p.Interval())
+	}
+	if NewPacer(0, time.Second).Interval() != 0 {
+		t.Fatal("empty queue pacer must not delay")
+	}
+	if NewPacer(10, 0).Interval() != 0 {
+		t.Fatal("zero deadline pacer must not delay")
+	}
+}
+
+func TestPlanNoDeadMembers(t *testing.T) {
+	plan, err := PlanShardRepair(stripe4(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Rebuild) != 0 || len(plan.Fetch) != 0 {
+		t.Fatalf("plan for healthy stripe = %+v", plan)
+	}
+}
+
+func TestPlanSingleLossPrefersDataShards(t *testing.T) {
+	plan, err := PlanShardRepair(stripe4(), map[types.ServerID]bool{1: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Rebuild) != 1 || plan.Rebuild[0] != 1 {
+		t.Fatalf("rebuild = %v", plan.Rebuild)
+	}
+	if len(plan.Fetch) != 3 {
+		t.Fatalf("fetch = %v", plan.Fetch)
+	}
+	// Fetch preference: indexes 0, 2, 3 — the two surviving data shards
+	// come first.
+	if plan.Fetch[0].Index != 0 || plan.Fetch[1].Index != 2 || plan.Fetch[2].Index != 3 {
+		t.Fatalf("fetch order = %v", plan.Fetch)
+	}
+	if !plan.NeedsDecode(3) {
+		t.Fatal("rebuilding a data shard must require decoding")
+	}
+}
+
+func TestPlanParityOnlyLossNoDecodeNeeded(t *testing.T) {
+	plan, err := PlanShardRepair(stripe4(), map[types.ServerID]bool{3: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Rebuild) != 1 || plan.Rebuild[0] != 3 {
+		t.Fatalf("rebuild = %v", plan.Rebuild)
+	}
+	// All three data shards survive: fetch set is exactly the data shards.
+	if plan.NeedsDecode(3) {
+		t.Fatal("data-complete fetch set should not need decode")
+	}
+}
+
+func TestPlanTooManyLosses(t *testing.T) {
+	if _, err := PlanShardRepair(stripe4(), map[types.ServerID]bool{0: true, 1: true}); err == nil {
+		t.Fatal("2 losses with m=1 accepted")
+	}
+}
+
+func TestPlanMultiLossWiderCode(t *testing.T) {
+	s := &types.StripeInfo{
+		ID: types.StripeID{Group: 1, Seq: 2},
+		K:  4, M: 2, ShardSize: 8,
+		Members: []types.StripeMember{
+			{Server: 0, Index: 0}, {Server: 1, Index: 1}, {Server: 2, Index: 2},
+			{Server: 3, Index: 3}, {Server: 4, Index: 4}, {Server: 5, Index: 5},
+		},
+	}
+	plan, err := PlanShardRepair(s, map[types.ServerID]bool{0: true, 4: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Rebuild) != 2 || len(plan.Fetch) != 4 {
+		t.Fatalf("plan = %+v", plan)
+	}
+	if !plan.NeedsDecode(4) {
+		t.Fatal("data loss must need decode")
+	}
+}
+
+func TestQueueDedupAndDrain(t *testing.T) {
+	q := NewQueue([]string{"a", "b", "a", "c"})
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 after dedup", q.Len())
+	}
+	if !q.MarkRepaired("b") {
+		t.Fatal("MarkRepaired(b) = false")
+	}
+	if q.MarkRepaired("b") {
+		t.Fatal("double MarkRepaired(b) = true")
+	}
+	var drained []string
+	for {
+		k := q.Next()
+		if k == "" {
+			break
+		}
+		q.MarkRepaired(k)
+		drained = append(drained, k)
+	}
+	if len(drained) != 2 || drained[0] != "a" || drained[1] != "c" {
+		t.Fatalf("drained = %v", drained)
+	}
+	if q.Len() != 0 {
+		t.Fatal("queue not empty after drain")
+	}
+}
+
+func TestQueueOnAccessRepairSkippedByDrain(t *testing.T) {
+	q := NewQueue([]string{"x", "y"})
+	q.MarkRepaired("x") // repaired by a client read
+	if k := q.Next(); k != "y" {
+		t.Fatalf("Next = %q, want y", k)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Lazy.String() != "lazy" || Aggressive.String() != "aggressive" {
+		t.Fatal("mode strings wrong")
+	}
+}

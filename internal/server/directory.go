@@ -1,0 +1,195 @@
+package server
+
+import (
+	"context"
+	"time"
+
+	"corec/internal/metrics"
+	"corec/internal/placement"
+	"corec/internal/transport"
+	"corec/internal/types"
+)
+
+// The metadata directory is sharded over all staging servers by key hash,
+// with each record mirrored on the shard's ring successor so one failure
+// never loses metadata. Servers host their shard in the dir/dirStripes maps
+// and reach other shards through the same transport as the data plane,
+// charging the Metadata bucket.
+
+// --- shard-side handlers ---
+
+func (s *Server) handleMetaUpdate(req *transport.Message) *transport.Message {
+	if req.Meta == nil {
+		return transport.Errf("server %d: MetaUpdate without record", s.id)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := req.Meta.ID.Key()
+	if cur, ok := s.dir[key]; ok {
+		if cur.Version > req.Meta.Version {
+			// Stale update from a slow path; keep the newer record.
+			return transport.Ok()
+		}
+		// Restore-mode updates (directory rebuild after a failure, marked
+		// by Flag) must never clobber a live same-version record: the live
+		// record may carry a newer state transition (e.g. encoded) made
+		// while the snapshot was in flight.
+		if req.Flag && cur.Version == req.Meta.Version {
+			return transport.Ok()
+		}
+	}
+	s.dir[key] = req.Meta.Clone()
+	return transport.Ok()
+}
+
+func (s *Server) handleMetaLookup(req *transport.Message) *transport.Message {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	m, ok := s.dir[req.Key]
+	if !ok {
+		return &transport.Message{Kind: transport.MsgOK, Flag: false}
+	}
+	return &transport.Message{Kind: transport.MsgOK, Flag: true, Meta: m.Clone()}
+}
+
+func (s *Server) handleMetaQuery(req *transport.Message) *transport.Message {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp := &transport.Message{Kind: transport.MsgOK}
+	for _, m := range s.dir {
+		if m.ID.Var != req.Var {
+			continue
+		}
+		if req.Box.Valid() && !m.ID.Box.Intersects(req.Box) {
+			continue
+		}
+		resp.Metas = append(resp.Metas, *m.Clone())
+	}
+	return resp
+}
+
+func (s *Server) handleMetaDelete(req *transport.Message) *transport.Message {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.dir, req.Key)
+	return transport.Ok()
+}
+
+func (s *Server) handleStripeUpdate(req *transport.Message) *transport.Message {
+	if req.StripeInfo == nil {
+		return transport.Errf("server %d: StripeUpdate without record", s.id)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := *req.StripeInfo
+	cp.Members = append([]types.StripeMember(nil), req.StripeInfo.Members...)
+	s.dirStripes[cp.ID] = &cp
+	return transport.Ok()
+}
+
+func (s *Server) handleStripeLookup(req *transport.Message) *transport.Message {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info, ok := s.dirStripes[req.Stripe]
+	if !ok {
+		return &transport.Message{Kind: transport.MsgOK, Flag: false}
+	}
+	cp := *info
+	cp.Members = append([]types.StripeMember(nil), info.Members...)
+	return &transport.Message{Kind: transport.MsgOK, Flag: true, StripeInfo: &cp}
+}
+
+// handleDirDump returns the whole directory shard: all object metadata and
+// stripe records. Used to rebuild a failed server's shard and to build
+// recovery work lists.
+func (s *Server) handleDirDump(req *transport.Message) *transport.Message {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp := &transport.Message{Kind: transport.MsgOK}
+	for _, m := range s.dir {
+		resp.Metas = append(resp.Metas, *m.Clone())
+	}
+	for _, info := range s.dirStripes {
+		cp := *info
+		cp.Members = append([]types.StripeMember(nil), info.Members...)
+		resp.Stripes = append(resp.Stripes, cp)
+	}
+	return resp
+}
+
+// --- client-side helpers (used by servers acting as directory clients) ---
+
+// dirGroup returns the servers hosting the directory record for key: the
+// hash shard plus NLevel ring-successor mirrors, so metadata tolerates as
+// many failures as the data it describes.
+func (s *Server) dirGroup(key string) []types.ServerID {
+	return placement.DirectoryGroup(s.place.DirectoryShard(key), s.place.NumServers(), s.cfg.Policy.NLevel)
+}
+
+// dirUpdate writes a metadata record to its shard group. Failures of some
+// mirrors are tolerated (the survivors serve reads until recovery restores
+// the group).
+func (s *Server) dirUpdate(ctx context.Context, meta *types.ObjectMeta) error {
+	start := time.Now()
+	defer func() { s.col.Add(metrics.Metadata, time.Since(start)) }()
+	msg := &transport.Message{Kind: transport.MsgMetaUpdate, Meta: meta}
+	return s.sendToGroup(ctx, s.dirGroup(meta.ID.Key()), msg)
+}
+
+// dirUpdateStripe writes a stripe record to its shard group.
+func (s *Server) dirUpdateStripe(ctx context.Context, info *types.StripeInfo) error {
+	start := time.Now()
+	defer func() { s.col.Add(metrics.Metadata, time.Since(start)) }()
+	msg := &transport.Message{Kind: transport.MsgStripeUpdate, StripeInfo: info}
+	return s.sendToGroup(ctx, s.dirGroup(info.ID.String()), msg)
+}
+
+// sendToGroup delivers msg to every shard holder, treating the operation as
+// successful when at least one copy lands.
+func (s *Server) sendToGroup(ctx context.Context, targets []types.ServerID, msg *transport.Message) error {
+	var firstErr error
+	delivered := false
+	for _, t := range targets {
+		var resp *transport.Message
+		var err error
+		if t == s.id {
+			resp = s.Handle(ctx, msg)
+		} else {
+			cp := *msg // shallow copy; From is mutated by Send
+			resp, err = s.net.Send(ctx, s.id, t, &cp)
+		}
+		if err == nil {
+			err = resp.AsError()
+		}
+		if err == nil {
+			delivered = true
+		} else if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if delivered {
+		return nil
+	}
+	return firstErr
+}
+
+// dirLookupStripe fetches a stripe record, trying each shard-group member
+// in turn.
+func (s *Server) dirLookupStripe(ctx context.Context, id types.StripeID) (*types.StripeInfo, bool) {
+	start := time.Now()
+	defer func() { s.col.Add(metrics.Metadata, time.Since(start)) }()
+	for _, t := range s.dirGroup(id.String()) {
+		var resp *transport.Message
+		var err error
+		msg := &transport.Message{Kind: transport.MsgStripeLookup, Stripe: id}
+		if t == s.id {
+			resp = s.Handle(ctx, msg)
+		} else {
+			resp, err = s.net.Send(ctx, s.id, t, msg)
+		}
+		if err == nil && resp.Kind == transport.MsgOK && resp.Flag {
+			return resp.StripeInfo, true
+		}
+	}
+	return nil, false
+}

@@ -1,0 +1,500 @@
+// Package server implements the CoREC staging server: an in-memory object
+// store with pluggable resilience (replication, erasure coding, simple
+// hybrid, CoREC), the grouped data-placement scheme, the load-balancing and
+// conflict-avoiding encoding workflow, and degraded/lazy recovery.
+//
+// One Server instance corresponds to one staging core in the paper's
+// deployment. Servers communicate exclusively through a transport.Network,
+// so the same code runs in-process for experiments and over TCP for the
+// standalone deployment.
+package server
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"corec/internal/classifier"
+	"corec/internal/erasure"
+	"corec/internal/metrics"
+	"corec/internal/placement"
+	"corec/internal/policy"
+	"corec/internal/recovery"
+	"corec/internal/topology"
+	"corec/internal/transport"
+	"corec/internal/types"
+)
+
+// Config assembles a server's dependencies.
+type Config struct {
+	ID        types.ServerID
+	Topology  *topology.Topology
+	Groups    *topology.Groups
+	Placement placement.Placement
+	Network   transport.Network
+	Policy    policy.Config
+	Collector *metrics.Collector
+	// RecoveryMode selects lazy (CoREC) or aggressive background repair.
+	RecoveryMode recovery.Mode
+	// MTBF parameterizes the lazy-recovery deadline (MTBF/4).
+	MTBF time.Duration
+	// HelperLoadDelta: the encoding workflow delegates to the helper server
+	// when own load exceeds the helper's by more than this. Negative
+	// disables delegation.
+	HelperLoadDelta int64
+	// ClassifierConfig tunes the CoREC classifier (used when Policy.Mode is
+	// CoREC). Zero value gets sane defaults applied.
+	ClassifierConfig classifier.Config
+	// Construction selects the Reed-Solomon generator family (Vandermonde
+	// default, or Cauchy).
+	Construction erasure.Construction
+}
+
+// Server is one staging server. All exported methods are safe for
+// concurrent use.
+type Server struct {
+	cfg     Config
+	id      types.ServerID
+	net     transport.Network
+	place   placement.Placement
+	top     *topology.Topology
+	groups  *topology.Groups
+	codec   *erasure.Codec
+	decider *policy.Decider
+	col     *metrics.Collector
+
+	inflight atomic.Int64
+
+	mu sync.Mutex
+	// objects holds full primary copies keyed by object key.
+	objects map[string]*types.Object
+	// replicas holds replica copies pushed by other primaries.
+	replicas map[string]*types.Object
+	// shards holds erasure shard payloads keyed by shardKey(stripe, index).
+	shards map[string][]byte
+	// shardStripe caches stripe geometry for locally held shards.
+	shardStripe map[string]types.StripeInfo
+	// local tracks resilience bookkeeping for objects this server is
+	// primary for.
+	local map[string]*localState
+	// dir is this server's metadata directory shard (primary entries plus
+	// backups for the ring-predecessor's shard).
+	dir map[string]*types.ObjectMeta
+	// dirStripes holds stripe records in the directory shard.
+	dirStripes map[types.StripeID]*types.StripeInfo
+	// tokenBusy is the encoding token of the replication group this server
+	// leads (only meaningful on group leaders).
+	tokenBusy bool
+	// stripeSeq mints stripe IDs for objects this server encodes. The high
+	// bits carry the server's incarnation so a replacement server never
+	// reuses stripe IDs minted by its failed predecessor (a collision
+	// would let a later stripe drop destroy an older object's shards).
+	stripeSeq   uint64
+	incarnation uint64
+	// dataRepl/dataEnc account primary-object bytes by state for the
+	// storage-efficiency constraint.
+	dataRepl int64
+	dataEnc  int64
+	// repairQueue is non-nil while this (replacement) server is recovering.
+	repairQueue *recovery.Queue
+	closed      bool
+
+	// Background encode queue (CoREC only): demotions run off the write
+	// path, per Figure 6's workflow — the put is acknowledged once the
+	// replica guarantees durability, and parity construction follows
+	// asynchronously under the group's encoding token.
+	encMu      sync.Mutex
+	encCond    *sync.Cond
+	encPending map[string]struct{}
+	encCh      chan string
+	encStop    chan struct{}
+	// pendingDrops holds superseded stripes whose shards the background
+	// worker must release (deferred off the write path).
+	pendingDrops map[string]types.StripeID
+}
+
+type localState struct {
+	id      types.ObjectID
+	version types.Version
+	size    int
+	state   types.ResilienceState
+	stripe  types.StripeID
+}
+
+// serverIncarnations distinguishes successive servers (including
+// replacements reusing a failed server's logical ID) within this process.
+var serverIncarnations atomic.Uint64
+
+// New constructs a server and registers it on the network.
+func New(cfg Config) (*Server, error) {
+	if cfg.Network == nil || cfg.Topology == nil || cfg.Groups == nil || cfg.Placement == nil {
+		return nil, fmt.Errorf("server: missing dependencies")
+	}
+	if cfg.Collector == nil {
+		cfg.Collector = metrics.NewCollector()
+	}
+	var cls *classifier.Classifier
+	if cfg.Policy.Mode == policy.CoREC {
+		cc := cfg.ClassifierConfig
+		if cc.HotThreshold == 0 && cc.Window == 0 {
+			cc = classifier.DefaultConfig(cc.Domain)
+		}
+		cls = classifier.New(cc)
+	}
+	dec, err := policy.NewDecider(cfg.Policy, cls)
+	if err != nil {
+		return nil, err
+	}
+	var codec *erasure.Codec
+	if cfg.Policy.Mode != policy.None {
+		codec, err = erasure.NewWithConstruction(cfg.Policy.K, cfg.Policy.M, cfg.Construction)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Groups.CodingSize != cfg.Policy.K+cfg.Policy.M {
+			return nil, fmt.Errorf("server: coding group size %d != k+m = %d",
+				cfg.Groups.CodingSize, cfg.Policy.K+cfg.Policy.M)
+		}
+	}
+	s := &Server{
+		cfg:         cfg,
+		id:          cfg.ID,
+		net:         cfg.Network,
+		place:       cfg.Placement,
+		top:         cfg.Topology,
+		groups:      cfg.Groups,
+		codec:       codec,
+		decider:     dec,
+		col:         cfg.Collector,
+		objects:     make(map[string]*types.Object),
+		replicas:    make(map[string]*types.Object),
+		shards:      make(map[string][]byte),
+		shardStripe: make(map[string]types.StripeInfo),
+		local:       make(map[string]*localState),
+		dir:         make(map[string]*types.ObjectMeta),
+		dirStripes:  make(map[types.StripeID]*types.StripeInfo),
+	}
+	s.incarnation = serverIncarnations.Add(1)
+	s.encCond = sync.NewCond(&s.encMu)
+	if cfg.Policy.Mode == policy.CoREC {
+		s.encPending = make(map[string]struct{})
+		s.encCh = make(chan string, 4096)
+		s.encStop = make(chan struct{})
+		s.pendingDrops = make(map[string]types.StripeID)
+		go s.encodeWorker()
+	}
+	cfg.Network.Register(cfg.ID, s.Handle)
+	return s, nil
+}
+
+// enqueueEncode schedules a background demotion of the object to erasure
+// coding. Duplicate requests for a key coalesce while one is pending.
+func (s *Server) enqueueEncode(key string) {
+	if s.encCh == nil {
+		return
+	}
+	s.encMu.Lock()
+	if _, dup := s.encPending[key]; dup {
+		s.encMu.Unlock()
+		return
+	}
+	s.encPending[key] = struct{}{}
+	s.encMu.Unlock()
+	select {
+	case s.encCh <- key:
+	case <-s.encStop:
+		s.finishEncode(key)
+	}
+}
+
+func (s *Server) finishEncode(key string) {
+	s.encMu.Lock()
+	delete(s.encPending, key)
+	s.encCond.Broadcast()
+	s.encMu.Unlock()
+}
+
+// WaitEncodeIdle blocks until the background encode queue drains. The
+// experiment harness calls it at time-step boundaries so response times
+// exclude, but workflow time includes, the encoding work.
+func (s *Server) WaitEncodeIdle() {
+	if s.encPending == nil {
+		return
+	}
+	s.encMu.Lock()
+	for len(s.encPending) > 0 {
+		s.encCond.Wait()
+	}
+	s.encMu.Unlock()
+}
+
+func (s *Server) encodeWorker() {
+	for {
+		select {
+		case <-s.encStop:
+			return
+		case key := <-s.encCh:
+			s.processEncode(key)
+			s.finishEncode(key)
+		}
+	}
+}
+
+// deferStripeDrop schedules the release of a superseded stripe's shards;
+// the background worker performs it before any re-encode of the key.
+func (s *Server) deferStripeDrop(key string, id types.StripeID) {
+	s.mu.Lock()
+	s.pendingDrops[key] = id
+	s.mu.Unlock()
+}
+
+// processEncode performs one queued demotion, skipping objects that were
+// promoted, rewritten into heat, or removed since enqueueing. Superseded
+// stripes recorded by the write path are released first.
+func (s *Server) processEncode(key string) {
+	s.mu.Lock()
+	drop, hasDrop := s.pendingDrops[key]
+	if hasDrop {
+		delete(s.pendingDrops, key)
+	}
+	st, ok := s.local[key]
+	obj := s.objects[key]
+	s.mu.Unlock()
+	if hasDrop {
+		s.dropStripe(context.Background(), drop, 0)
+	}
+	if !ok || obj == nil || st.state != types.StateReplicated {
+		return
+	}
+	// Re-check the decision: if the object re-heated and the constraint
+	// now has room for it, keep it replicated.
+	if cls := s.decider.Classifier(); cls != nil {
+		if cl, _ := cls.Classify(st.id); cl == classifier.Hot {
+			s.mu.Lock()
+			projected := s.cfg.Policy.MixedEfficiency(s.dataRepl, s.dataEnc)
+			s.mu.Unlock()
+			sMin := s.cfg.Policy.StorageEfficiencyMin
+			if sMin <= 0 || projected >= sMin {
+				return
+			}
+		}
+	}
+	s.encodeObject(context.Background(), obj, types.StripeID{}, true) //nolint:errcheck
+}
+
+// ID returns the server's logical ID.
+func (s *Server) ID() types.ServerID { return s.id }
+
+// Load returns the current number of in-flight requests — the workload
+// measurement the encoding workflow consults.
+func (s *Server) Load() int64 { return s.inflight.Load() }
+
+// Classifier exposes the CoREC classifier (nil in other modes), used by
+// tests and the harness's miss-ratio reporting.
+func (s *Server) Classifier() *classifier.Classifier { return s.decider.Classifier() }
+
+// Close unregisters the server from the network. Its state remains readable
+// by tests.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.mu.Unlock()
+	if s.encStop != nil {
+		close(s.encStop)
+	}
+	s.net.Unregister(s.id)
+}
+
+// Handle is the transport handler: it dispatches by message kind.
+func (s *Server) Handle(ctx context.Context, req *transport.Message) *transport.Message {
+	s.inflight.Add(1)
+	defer s.inflight.Add(-1)
+	switch req.Kind {
+	case transport.MsgPing:
+		return transport.Ok()
+	case transport.MsgLoadQuery:
+		return &transport.Message{Kind: transport.MsgOK, Num: s.Load()}
+	case transport.MsgPut:
+		return s.handlePut(ctx, req)
+	case transport.MsgDelete:
+		return s.handleDelete(ctx, req)
+	case transport.MsgGet:
+		return s.handleGet(req)
+	case transport.MsgObjFetch:
+		return s.handleObjFetch(req)
+	case transport.MsgReplicaPut:
+		return s.handleReplicaPut(req)
+	case transport.MsgReplicaDrop:
+		return s.handleReplicaDrop(req)
+	case transport.MsgShardPut:
+		return s.handleShardPut(req)
+	case transport.MsgShardGet:
+		return s.handleShardGet(req)
+	case transport.MsgShardDrop:
+		return s.handleShardDrop(req)
+	case transport.MsgEncodeDelegate:
+		return s.handleEncodeDelegate(ctx, req)
+	case transport.MsgMetaUpdate:
+		return s.handleMetaUpdate(req)
+	case transport.MsgMetaLookup:
+		return s.handleMetaLookup(req)
+	case transport.MsgMetaQuery:
+		return s.handleMetaQuery(req)
+	case transport.MsgMetaDelete:
+		return s.handleMetaDelete(req)
+	case transport.MsgStripeUpdate:
+		return s.handleStripeUpdate(req)
+	case transport.MsgStripeLookup:
+		return s.handleStripeLookup(req)
+	case transport.MsgDirDump:
+		return s.handleDirDump(req)
+	case transport.MsgTokenAcquire:
+		return s.handleTokenAcquire(req)
+	case transport.MsgTokenRelease:
+		return s.handleTokenRelease(req)
+	case transport.MsgRecover:
+		return s.handleRecover(ctx, req)
+	case transport.MsgStats:
+		return s.handleStats(req)
+	default:
+		return transport.Errf("server %d: unsupported message kind %v", s.id, req.Kind)
+	}
+}
+
+// --- storage accessors used by handlers and tests ---
+
+// HasObject reports whether the server holds a full primary copy of key.
+func (s *Server) HasObject(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.objects[key]
+	return ok
+}
+
+// HasReplica reports whether the server holds a replica of key.
+func (s *Server) HasReplica(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.replicas[key]
+	return ok
+}
+
+// HasShard reports whether the server holds the given stripe shard.
+func (s *Server) HasShard(id types.StripeID, index int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.shards[shardKey(id, index)]
+	return ok
+}
+
+// SerializeStore flattens every locally held payload (full objects,
+// replicas, shards) into one byte stream — the data a coordinated
+// checkpoint of this server must persist. The encoding is a simple
+// concatenation; the checkpoint baseline only needs realistic volume.
+func (s *Server) SerializeStore() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var total int
+	for _, o := range s.objects {
+		total += len(o.Data)
+	}
+	for _, o := range s.replicas {
+		total += len(o.Data)
+	}
+	for _, b := range s.shards {
+		total += len(b)
+	}
+	out := make([]byte, 0, total)
+	for _, o := range s.objects {
+		out = append(out, o.Data...)
+	}
+	for _, o := range s.replicas {
+		out = append(out, o.Data...)
+	}
+	for _, b := range s.shards {
+		out = append(out, b...)
+	}
+	return out
+}
+
+// StorageUsage reports the bytes held by category: full primary objects,
+// replica copies, and erasure shards (data+parity).
+func (s *Server) StorageUsage() (objects, replicas, shards int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, o := range s.objects {
+		objects += int64(len(o.Data))
+	}
+	for _, o := range s.replicas {
+		replicas += int64(len(o.Data))
+	}
+	for _, b := range s.shards {
+		shards += int64(len(b))
+	}
+	return
+}
+
+// efficiencyLocked computes this server's storage efficiency over its
+// primary objects.
+func (s *Server) efficiencyLocked() float64 {
+	return s.cfg.Policy.MixedEfficiency(s.dataRepl, s.dataEnc)
+}
+
+// Efficiency returns the server's current storage efficiency over its
+// primary objects.
+func (s *Server) Efficiency() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.efficiencyLocked()
+}
+
+// StateCounts returns the number of primary objects by resilience state.
+func (s *Server) StateCounts() (replicated, encoded int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, st := range s.local {
+		switch st.state {
+		case types.StateReplicated:
+			replicated++
+		case types.StateEncoded:
+			encoded++
+		}
+	}
+	return
+}
+
+func shardKey(id types.StripeID, index int) string {
+	return fmt.Sprintf("%d#%d/%d", id.Group, id.Seq, index)
+}
+
+// replicaHolders returns the servers holding replicas for this server's
+// objects (its replication-group peers, NLevel of them).
+func (s *Server) replicaHolders() []types.ServerID {
+	return s.groups.ReplicaTargets(s.id, s.cfg.Policy.NLevel)
+}
+
+// codingMembers returns this server's coding group in stripe order: the
+// rotation starting at the server itself, so the primary always holds data
+// shard 0 of stripes it mints.
+func (s *Server) codingMembers() []types.ServerID {
+	gi := s.groups.CodingGroup(s.id)
+	members := s.groups.CodingGroupMembers(gi)
+	start := 0
+	for i, m := range members {
+		if m == s.id {
+			start = i
+			break
+		}
+	}
+	out := make([]types.ServerID, len(members))
+	for i := range members {
+		out[i] = members[(start+i)%len(members)]
+	}
+	return out
+}

@@ -1,0 +1,577 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"corec/internal/classifier"
+	"corec/internal/geometry"
+	"corec/internal/metrics"
+	"corec/internal/placement"
+	"corec/internal/policy"
+	"corec/internal/recovery"
+	"corec/internal/simnet"
+	"corec/internal/topology"
+	"corec/internal/transport"
+	"corec/internal/types"
+)
+
+// testRig wires a full 8-server fabric with a shared collector.
+type testRig struct {
+	net     *transport.InProc
+	top     *topology.Topology
+	groups  *topology.Groups
+	place   placement.Placement
+	col     *metrics.Collector
+	servers []*Server
+	polCfg  policy.Config
+}
+
+func newRig(t testing.TB, mode policy.Mode, n int) *testRig {
+	t.Helper()
+	top, err := topology.Uniform(n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups, err := topology.NewGroups(top, 2, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rig := &testRig{
+		net:    transport.NewInProc(simnet.LinkModel{}),
+		top:    top,
+		groups: groups,
+		place:  placement.NewHash(n),
+		col:    metrics.NewCollector(),
+		polCfg: policy.Config{
+			Mode: mode, NLevel: 1, K: 3, M: 1,
+			StorageEfficiencyMin: 0,
+		},
+	}
+	for i := 0; i < n; i++ {
+		srv := rig.startServer(t, types.ServerID(i))
+		rig.servers = append(rig.servers, srv)
+	}
+	return rig
+}
+
+func (r *testRig) startServer(t testing.TB, id types.ServerID) *Server {
+	t.Helper()
+	srv, err := New(Config{
+		ID:               id,
+		Topology:         r.top,
+		Groups:           r.groups,
+		Placement:        r.place,
+		Network:          r.net,
+		Policy:           r.polCfg,
+		Collector:        r.col,
+		RecoveryMode:     recovery.Lazy,
+		MTBF:             time.Second,
+		HelperLoadDelta:  2,
+		ClassifierConfig: classifier.DefaultConfig(geometry.Box3D(0, 0, 0, 1024, 64, 64)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+func (r *testRig) put(t testing.TB, name string, box geometry.Box, v types.Version, data []byte) types.ServerID {
+	t.Helper()
+	id := types.ObjectID{Var: name, Box: box}
+	primary := r.place.Primary(id)
+	resp, err := r.net.Send(context.Background(), -1, primary, &transport.Message{
+		Kind: transport.MsgPut, Var: name, Box: box, Version: v, Data: data,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resp.AsError(); err != nil {
+		t.Fatal(err)
+	}
+	return primary
+}
+
+func payload(n int, seed int64) []byte {
+	b := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(b)
+	return b
+}
+
+func TestServerConfigValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+	top, _ := topology.Uniform(8, 4)
+	groups, _ := topology.NewGroups(top, 2, 4)
+	// Coding group size must match k+m.
+	_, err := New(Config{
+		ID: 0, Topology: top, Groups: groups,
+		Placement: placement.NewHash(8),
+		Network:   transport.NewInProc(simnet.LinkModel{}),
+		Policy:    policy.Config{Mode: policy.Erasure, NLevel: 1, K: 5, M: 1},
+	})
+	if err == nil {
+		t.Fatal("mismatched coding group size accepted")
+	}
+}
+
+func TestReplicationPlacesCopiesInGroup(t *testing.T) {
+	rig := newRig(t, policy.Replicate, 8)
+	box := geometry.Box3D(0, 0, 0, 8, 8, 8)
+	primary := rig.put(t, "v", box, 1, payload(512, 1))
+	key := types.ObjectID{Var: "v", Box: box}.Key()
+
+	if !rig.servers[primary].HasObject(key) {
+		t.Fatal("primary lost the object")
+	}
+	targets := rig.groups.ReplicaTargets(primary, 1)
+	if len(targets) != 1 || !rig.servers[targets[0]].HasReplica(key) {
+		t.Fatalf("replica not placed on group peer %v", targets)
+	}
+	// Replica must be in the same replication group and a different server.
+	if rig.groups.ReplicationGroup(primary) != rig.groups.ReplicationGroup(targets[0]) {
+		t.Fatal("replica escaped the replication group")
+	}
+}
+
+func TestErasurePlacesStripeAcrossCodingGroup(t *testing.T) {
+	rig := newRig(t, policy.Erasure, 8)
+	box := geometry.Box3D(0, 0, 0, 8, 8, 8)
+	primary := rig.put(t, "v", box, 1, payload(600, 2))
+	key := types.ObjectID{Var: "v", Box: box}.Key()
+
+	if rig.servers[primary].HasObject(key) {
+		t.Fatal("primary kept the full copy after encoding")
+	}
+	// Every coding-group member must hold exactly one shard of the stripe.
+	srv := rig.servers[primary]
+	members := srv.codingMembers()
+	srv.mu.Lock()
+	st := srv.local[key]
+	srv.mu.Unlock()
+	if st == nil || st.state != types.StateEncoded {
+		t.Fatalf("local state = %+v", st)
+	}
+	for i, m := range members {
+		if !rig.servers[m].HasShard(st.stripe, i) {
+			t.Fatalf("member %d (server %d) missing shard %d", i, m, i)
+		}
+	}
+}
+
+func TestErasureUpdateReusesStripe(t *testing.T) {
+	rig := newRig(t, policy.Erasure, 8)
+	box := geometry.Box3D(0, 0, 0, 8, 8, 8)
+	primary := rig.put(t, "v", box, 1, payload(600, 3))
+	key := types.ObjectID{Var: "v", Box: box}.Key()
+	srv := rig.servers[primary]
+	srv.mu.Lock()
+	stripe1 := srv.local[key].stripe
+	srv.mu.Unlock()
+
+	rig.put(t, "v", box, 2, payload(600, 4))
+	srv.mu.Lock()
+	stripe2 := srv.local[key].stripe
+	srv.mu.Unlock()
+	if stripe1 != stripe2 {
+		t.Fatalf("update minted a new stripe: %v -> %v", stripe1, stripe2)
+	}
+}
+
+func TestEfficiencyAccounting(t *testing.T) {
+	rig := newRig(t, policy.Replicate, 8)
+	box := geometry.Box3D(0, 0, 0, 8, 8, 8)
+	primary := rig.put(t, "v", box, 1, payload(1000, 5))
+	srv := rig.servers[primary]
+	if eff := srv.Efficiency(); eff != 0.5 {
+		t.Fatalf("replicated efficiency = %v, want 0.5", eff)
+	}
+	nr, ne := srv.StateCounts()
+	if nr != 1 || ne != 0 {
+		t.Fatalf("state counts = %d/%d", nr, ne)
+	}
+}
+
+func TestTokenMutualExclusion(t *testing.T) {
+	rig := newRig(t, policy.CoREC, 8)
+	leader := rig.servers[0] // server 0 leads replication group {0,1}
+	resp := leader.handleTokenAcquire(&transport.Message{Kind: transport.MsgTokenAcquire})
+	if !resp.Flag {
+		t.Fatal("first acquire denied")
+	}
+	resp = leader.handleTokenAcquire(&transport.Message{Kind: transport.MsgTokenAcquire})
+	if resp.Flag {
+		t.Fatal("second acquire granted while held")
+	}
+	leader.handleTokenRelease(&transport.Message{Kind: transport.MsgTokenRelease})
+	resp = leader.handleTokenAcquire(&transport.Message{Kind: transport.MsgTokenAcquire})
+	if !resp.Flag {
+		t.Fatal("acquire after release denied")
+	}
+}
+
+func TestAcquireTokenFallsBackWhenLeaderDead(t *testing.T) {
+	rig := newRig(t, policy.CoREC, 8)
+	// Server 1's token leader is server 0; kill it.
+	rig.servers[0].Close()
+	done := make(chan struct{})
+	go func() {
+		release := rig.servers[1].acquireToken(context.Background())
+		release()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("acquireToken hung with a dead leader")
+	}
+}
+
+func TestEncodeDelegateUsesReplica(t *testing.T) {
+	rig := newRig(t, policy.CoREC, 8)
+	box := geometry.Box3D(0, 0, 0, 8, 8, 8)
+	// CoREC put: fresh write replicates.
+	primary := rig.put(t, "v", box, 1, payload(900, 6))
+	key := types.ObjectID{Var: "v", Box: box}.Key()
+	helper := rig.groups.ReplicaTargets(primary, 1)[0]
+	if !rig.servers[helper].HasReplica(key) {
+		t.Fatal("helper lacks the replica")
+	}
+	// Delegate encoding to the helper explicitly.
+	srv := rig.servers[primary]
+	srvObj := func() *types.Object {
+		srv.mu.Lock()
+		defer srv.mu.Unlock()
+		return srv.objects[key]
+	}()
+	shards, shardSize := srv.codec.Split(srvObj.Data)
+	members := srv.codingMembers()
+	info := &types.StripeInfo{ID: types.StripeID{Group: 99, Seq: 1}, K: 3, M: 1, ShardSize: shardSize}
+	for i, m := range members {
+		info.Members = append(info.Members, types.StripeMember{Server: m, Index: i})
+	}
+	ok := srv.delegateEncode(context.Background(), helper, srvObj, info)
+	if !ok {
+		t.Fatal("delegation refused")
+	}
+	// The helper must have distributed all non-primary shards.
+	for i := 1; i < len(members); i++ {
+		if !rig.servers[members[i]].HasShard(info.ID, i) {
+			t.Fatalf("shard %d not distributed by helper", i)
+		}
+	}
+	_ = shards
+}
+
+func TestDelegateRefusedWithoutReplica(t *testing.T) {
+	rig := newRig(t, policy.CoREC, 8)
+	srv := rig.servers[0]
+	resp := srv.handleEncodeDelegate(context.Background(), &transport.Message{
+		Kind: transport.MsgEncodeDelegate, Key: "nope",
+		StripeInfo: &types.StripeInfo{K: 3, M: 1},
+	})
+	if resp.Kind != transport.MsgOK || resp.Flag {
+		t.Fatalf("delegate without replica: %+v", resp)
+	}
+}
+
+func TestDirectoryUpdateLookupQuery(t *testing.T) {
+	rig := newRig(t, policy.Replicate, 8)
+	srv := rig.servers[3]
+	meta := &types.ObjectMeta{
+		ID:      types.ObjectID{Var: "v", Box: geometry.Box3D(0, 0, 0, 4, 4, 4)},
+		Version: 2, Size: 64, State: types.StateReplicated, Primary: 1,
+	}
+	if err := srv.dirUpdate(context.Background(), meta); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := srv.dirLookupMeta(context.Background(), meta.ID.Key())
+	if !ok || got.Version != 2 || got.Primary != 1 {
+		t.Fatalf("lookup = %+v ok=%v", got, ok)
+	}
+	// Older updates must not clobber newer records.
+	stale := meta.Clone()
+	stale.Version = 1
+	stale.Primary = 7
+	if err := srv.dirUpdate(context.Background(), stale); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = srv.dirLookupMeta(context.Background(), meta.ID.Key())
+	if got.Version != 2 {
+		t.Fatal("stale update clobbered a newer record")
+	}
+}
+
+func TestDirectorySurvivesShardHolderFailure(t *testing.T) {
+	rig := newRig(t, policy.Replicate, 8)
+	srv := rig.servers[3]
+	meta := &types.ObjectMeta{
+		ID:   types.ObjectID{Var: "v", Box: geometry.Box3D(8, 0, 0, 12, 4, 4)},
+		Size: 64, State: types.StateReplicated, Primary: 1,
+	}
+	if err := srv.dirUpdate(context.Background(), meta); err != nil {
+		t.Fatal(err)
+	}
+	shard := rig.place.DirectoryShard(meta.ID.Key())
+	rig.servers[shard].Close()
+	if _, ok := srv.dirLookupMeta(context.Background(), meta.ID.Key()); !ok {
+		t.Fatal("metadata lost after single shard-holder failure")
+	}
+}
+
+func TestStripeDirectoryRoundTrip(t *testing.T) {
+	rig := newRig(t, policy.Erasure, 8)
+	srv := rig.servers[0]
+	info := &types.StripeInfo{
+		ID: types.StripeID{Group: 1, Seq: 9}, K: 3, M: 1, ShardSize: 10,
+		Members: []types.StripeMember{{Server: 4, Index: 0, ObjectKey: "o"}},
+	}
+	if err := srv.dirUpdateStripe(context.Background(), info); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := srv.dirLookupStripe(context.Background(), info.ID)
+	if !ok || got.ShardSize != 10 || len(got.Members) != 1 {
+		t.Fatalf("stripe lookup = %+v ok=%v", got, ok)
+	}
+}
+
+func TestFetchStripeDataDegraded(t *testing.T) {
+	rig := newRig(t, policy.Erasure, 8)
+	box := geometry.Box3D(0, 0, 0, 8, 8, 8)
+	data := payload(700, 7)
+	primary := rig.put(t, "v", box, 1, data)
+	key := types.ObjectID{Var: "v", Box: box}.Key()
+	srv := rig.servers[primary]
+	srv.mu.Lock()
+	stripe := srv.local[key].stripe
+	srv.mu.Unlock()
+	// Kill a non-primary stripe member holding a data shard.
+	members := srv.codingMembers()
+	rig.servers[members[1]].Close()
+	got, _, err := srv.fetchStripeData(context.Background(), stripe, len(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("degraded stripe fetch corrupted data")
+	}
+	if rig.col.Snapshot().PhaseCount[metrics.Decode] == 0 {
+		t.Fatal("degraded fetch did not charge the decode bucket")
+	}
+}
+
+func TestRecoverKeyRestoresShard(t *testing.T) {
+	rig := newRig(t, policy.Erasure, 8)
+	box := geometry.Box3D(0, 0, 0, 8, 8, 8)
+	data := payload(800, 8)
+	primary := rig.put(t, "v", box, 1, data)
+	key := types.ObjectID{Var: "v", Box: box}.Key()
+	srv := rig.servers[primary]
+	srv.mu.Lock()
+	stripe := srv.local[key].stripe
+	srv.mu.Unlock()
+	members := srv.codingMembers()
+	victim := members[2]
+	rig.servers[victim].Close()
+	// Fresh replacement with the same ID.
+	repl := rig.startServer(t, victim)
+	if repl.HasShard(stripe, 2) {
+		t.Fatal("replacement born with the shard")
+	}
+	did, err := repl.recoverKey(context.Background(), key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !did || !repl.HasShard(stripe, 2) {
+		t.Fatal("recoverKey did not restore the shard")
+	}
+}
+
+func TestRunRecoveryRebuildsReplicasAndShards(t *testing.T) {
+	rig := newRig(t, policy.Replicate, 8)
+	// Stage several objects so server 1 holds replicas (group {0,1}).
+	var keys []string
+	for i := int64(0); i < 10; i++ {
+		box := geometry.Box3D(i*8, 0, 0, i*8+8, 8, 8)
+		rig.put(t, "v", box, 1, payload(256, 100+i))
+		keys = append(keys, types.ObjectID{Var: "v", Box: box}.Key())
+	}
+	victim := types.ServerID(1)
+	hadAny := false
+	for _, k := range keys {
+		if rig.servers[victim].HasObject(k) || rig.servers[victim].HasReplica(k) {
+			hadAny = true
+		}
+	}
+	if !hadAny {
+		t.Skip("hash placement gave server 1 nothing; adjust seed")
+	}
+	rig.servers[victim].Close()
+	repl := rig.startServer(t, victim)
+	repaired, err := repl.RunRecovery(context.Background(), recovery.Aggressive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repaired == 0 {
+		t.Fatal("recovery restored nothing")
+	}
+	for _, k := range keys {
+		if rig.servers[0].HasObject(k) {
+			// Server 1 is server 0's replica target.
+			if !repl.HasReplica(k) {
+				t.Fatalf("replica of %s not restored", k)
+			}
+		}
+	}
+}
+
+func TestLazyRecoveryPacedSlowerThanAggressive(t *testing.T) {
+	mkRig := func() (*testRig, types.ServerID) {
+		rig := newRig(t, policy.Erasure, 8)
+		for i := int64(0); i < 12; i++ {
+			box := geometry.Box3D(i*8, 0, 0, i*8+8, 8, 8)
+			rig.put(t, "v", box, 1, payload(400, 200+i))
+		}
+		victim := types.ServerID(2)
+		rig.servers[victim].Close()
+		return rig, victim
+	}
+
+	rig1, v1 := mkRig()
+	repl1 := rig1.startServer(t, v1)
+	start := time.Now()
+	if _, err := repl1.RunRecovery(context.Background(), recovery.Aggressive); err != nil {
+		t.Fatal(err)
+	}
+	aggressive := time.Since(start)
+
+	rig2, v2 := mkRig()
+	repl2 := rig2.startServer(t, v2)
+	repl2.cfg.MTBF = 2 * time.Second // deadline = 500ms
+	start = time.Now()
+	if _, err := repl2.RunRecovery(context.Background(), recovery.Lazy); err != nil {
+		t.Fatal(err)
+	}
+	lazy := time.Since(start)
+	if lazy < 5*aggressive && lazy < 100*time.Millisecond {
+		t.Fatalf("lazy recovery (%v) not paced vs aggressive (%v)", lazy, aggressive)
+	}
+}
+
+func TestOnAccessRepairMarksQueue(t *testing.T) {
+	rig := newRig(t, policy.Erasure, 8)
+	box := geometry.Box3D(0, 0, 0, 8, 8, 8)
+	rig.put(t, "v", box, 1, payload(300, 9))
+	key := types.ObjectID{Var: "v", Box: box}.Key()
+	primary := rig.place.Primary(types.ObjectID{Var: "v", Box: box})
+	srv := rig.servers[primary]
+	srv.mu.Lock()
+	stripe := srv.local[key].stripe
+	srv.mu.Unlock()
+	members := srv.codingMembers()
+	victim := members[1]
+	rig.servers[victim].Close()
+	repl := rig.startServer(t, victim)
+	// Install a queue manually and fire the on-access repair message.
+	repl.mu.Lock()
+	repl.repairQueue = recovery.NewQueue([]string{key, "other"})
+	repl.mu.Unlock()
+	resp := repl.Handle(context.Background(), &transport.Message{Kind: transport.MsgRecover, Key: key})
+	if resp.Kind == transport.MsgErr {
+		t.Fatalf("recover failed: %s", resp.Err)
+	}
+	if repl.RepairQueueLen() != 1 {
+		t.Fatalf("queue length = %d, want 1 after on-access repair", repl.RepairQueueLen())
+	}
+	if !repl.HasShard(stripe, 1) {
+		t.Fatal("on-access repair did not restore the shard")
+	}
+}
+
+func TestEndTimeStepNoopForNonCoREC(t *testing.T) {
+	rig := newRig(t, policy.Erasure, 8)
+	d, p := rig.servers[0].EndTimeStep(context.Background(), 5)
+	if d != 0 || p != 0 {
+		t.Fatal("non-CoREC server produced transitions")
+	}
+}
+
+func TestCoRECEndTimeStepDemotesAndPromotes(t *testing.T) {
+	rig := newRig(t, policy.CoREC, 8)
+	// Two objects on whichever servers; both written at ts=1.
+	boxA := geometry.Box3D(0, 0, 0, 8, 8, 8)
+	boxB := geometry.Box3D(512, 0, 0, 520, 8, 8)
+	pa := rig.put(t, "v", boxA, 1, payload(512, 10))
+	rig.put(t, "v", boxB, 1, payload(512, 11))
+	keyA := types.ObjectID{Var: "v", Box: boxA}.Key()
+
+	// Cool both far past the window; demotions must happen on each
+	// object's primary. Demotions are queued, so drain after each step.
+	var totalDem int
+	for ts := types.Version(4); ts <= 6; ts++ {
+		for _, s := range rig.servers {
+			d, _ := s.EndTimeStep(context.Background(), ts)
+			totalDem += d
+		}
+		for _, s := range rig.servers {
+			s.WaitEncodeIdle()
+		}
+	}
+	if totalDem != 2 {
+		t.Fatalf("demoted %d, want 2", totalDem)
+	}
+	if rig.servers[pa].HasObject(keyA) {
+		t.Fatal("demoted object still has a full primary copy")
+	}
+	// Reheat object A: write at ts=7, then promote at end of step.
+	rig.put(t, "v", boxA, 7, payload(512, 12))
+	// The CoREC put path promotes on write; object is replicated again.
+	srv := rig.servers[pa]
+	srv.mu.Lock()
+	st := srv.local[keyA]
+	srv.mu.Unlock()
+	if st.state != types.StateReplicated {
+		t.Fatalf("hot rewrite left state %v", st.state)
+	}
+}
+
+func TestLoadQueryAndPing(t *testing.T) {
+	rig := newRig(t, policy.Replicate, 8)
+	resp, err := rig.net.Send(context.Background(), -1, 0, &transport.Message{Kind: transport.MsgPing})
+	if err != nil || resp.Kind != transport.MsgOK {
+		t.Fatalf("ping: %v %+v", err, resp)
+	}
+	resp, err = rig.net.Send(context.Background(), -1, 0, &transport.Message{Kind: transport.MsgLoadQuery})
+	if err != nil || resp.Kind != transport.MsgOK {
+		t.Fatalf("load query: %v %+v", err, resp)
+	}
+	if resp.Num < 0 {
+		t.Fatal("negative load")
+	}
+}
+
+func TestMalformedPutRejected(t *testing.T) {
+	rig := newRig(t, policy.Replicate, 8)
+	resp, err := rig.net.Send(context.Background(), -1, 0, &transport.Message{Kind: transport.MsgPut})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Kind != transport.MsgErr {
+		t.Fatal("malformed put accepted")
+	}
+}
+
+func TestUnknownKindRejected(t *testing.T) {
+	rig := newRig(t, policy.Replicate, 8)
+	resp, err := rig.net.Send(context.Background(), -1, 0, &transport.Message{Kind: transport.Kind(200)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Kind != transport.MsgErr {
+		t.Fatal("unknown kind accepted")
+	}
+}

@@ -1,0 +1,84 @@
+package server
+
+import (
+	"encoding/json"
+
+	"corec/internal/transport"
+	"corec/internal/types"
+)
+
+// Stats is a server's self-reported status, served over MsgStats as JSON
+// so admin tools (corec-cli status) work across process boundaries.
+type Stats struct {
+	// ID is the server's logical ID.
+	ID int `json:"id"`
+	// Load is the current in-flight request count.
+	Load int64 `json:"load"`
+	// Objects/Replicas/Shards count locally resident payloads.
+	Objects  int `json:"objects"`
+	Replicas int `json:"replicas"`
+	Shards   int `json:"shards"`
+	// ObjectBytes/ReplicaBytes/ShardBytes are the corresponding volumes.
+	ObjectBytes  int64 `json:"object_bytes"`
+	ReplicaBytes int64 `json:"replica_bytes"`
+	ShardBytes   int64 `json:"shard_bytes"`
+	// Replicated/Encoded count primary objects by resilience state.
+	Replicated int `json:"replicated"`
+	Encoded    int `json:"encoded"`
+	// Efficiency is this server's storage efficiency over primary data.
+	Efficiency float64 `json:"efficiency"`
+	// DirEntries counts metadata records in the local directory shard.
+	DirEntries int `json:"dir_entries"`
+	// PendingEncodes is the background demotion queue length.
+	PendingEncodes int `json:"pending_encodes"`
+	// PendingRepairs is the recovery queue length (0 when not recovering).
+	PendingRepairs int `json:"pending_repairs"`
+}
+
+// CollectStats builds the status report.
+func (s *Server) CollectStats() Stats {
+	s.mu.Lock()
+	st := Stats{
+		ID:         int(s.id),
+		Objects:    len(s.objects),
+		Replicas:   len(s.replicas),
+		Shards:     len(s.shards),
+		DirEntries: len(s.dir),
+		Efficiency: s.efficiencyLocked(),
+	}
+	for _, o := range s.objects {
+		st.ObjectBytes += int64(len(o.Data))
+	}
+	for _, o := range s.replicas {
+		st.ReplicaBytes += int64(len(o.Data))
+	}
+	for _, b := range s.shards {
+		st.ShardBytes += int64(len(b))
+	}
+	for _, l := range s.local {
+		switch l.state {
+		case types.StateReplicated:
+			st.Replicated++
+		case types.StateEncoded:
+			st.Encoded++
+		}
+	}
+	if s.repairQueue != nil {
+		st.PendingRepairs = s.repairQueue.Len()
+	}
+	s.mu.Unlock()
+	st.Load = s.Load()
+	s.encMu.Lock()
+	st.PendingEncodes = len(s.encPending)
+	s.encMu.Unlock()
+	return st
+}
+
+func (s *Server) handleStats(req *transport.Message) *transport.Message {
+	st := s.CollectStats()
+	data, err := json.Marshal(st)
+	if err != nil {
+		return transport.Errf("server %d: stats: %v", s.id, err)
+	}
+	return &transport.Message{Kind: transport.MsgOK, Data: data, Num: st.Load}
+}

@@ -1,0 +1,395 @@
+package server
+
+import (
+	"context"
+	"time"
+
+	"corec/internal/metrics"
+	"corec/internal/policy"
+	"corec/internal/transport"
+	"corec/internal/types"
+)
+
+// handlePut is the write path: store the object, update the directory, and
+// apply the policy's resilience action (replicate, encode, or nothing).
+func (s *Server) handlePut(ctx context.Context, req *transport.Message) *transport.Message {
+	if len(req.Data) == 0 || req.Var == "" || !req.Box.Valid() {
+		return transport.Errf("server %d: malformed put", s.id)
+	}
+	id := types.ObjectID{Var: req.Var, Box: req.Box}
+	key := id.Key()
+	obj := &types.Object{ID: id, Version: req.Version, Data: req.Data}
+
+	// Install the object and capture prior state for transition handling.
+	s.mu.Lock()
+	prior, existed := s.local[key]
+	var priorState types.ResilienceState
+	var priorStripe types.StripeID
+	var priorSize int
+	if existed {
+		priorState = prior.state
+		priorStripe = prior.stripe
+		priorSize = prior.size
+	}
+	s.objects[key] = obj
+	eff := s.efficiencyLocked()
+	// For CoREC the constraint check is against the *projected* efficiency
+	// if this object ends up replicated — otherwise an object at the
+	// boundary flip-flops between states on every write.
+	if s.cfg.Policy.Mode == policy.CoREC {
+		projRepl := s.dataRepl + int64(len(req.Data))
+		projEnc := s.dataEnc
+		if existed {
+			switch priorState {
+			case types.StateReplicated:
+				projRepl -= int64(priorSize)
+			case types.StateEncoded:
+				projEnc -= int64(priorSize)
+			}
+		}
+		eff = s.cfg.Policy.MixedEfficiency(projRepl, projEnc)
+	}
+	s.mu.Unlock()
+
+	// Decide the resilience action. CoREC's classification is charged to
+	// the classify bucket.
+	var action policy.Action
+	if s.cfg.Policy.Mode == policy.CoREC {
+		start := time.Now()
+		action = s.decider.OnPut(id, req.Version, eff)
+		s.col.Add(metrics.Classify, time.Since(start))
+	} else {
+		action = s.decider.OnPut(id, req.Version, eff)
+	}
+
+	switch action {
+	case policy.ActNone:
+		s.setLocalState(id, req.Version, len(req.Data), types.StateNone, types.StripeID{})
+		meta := s.buildMeta(id, req.Version, len(req.Data), types.StateNone, types.StripeID{}, 0)
+		if err := s.dirUpdate(ctx, meta); err != nil {
+			return transport.Errf("server %d: metadata update: %v", s.id, err)
+		}
+		return transport.Ok()
+
+	case policy.ActReplicate:
+		// An object that was encoded and is now written becomes replicated
+		// again (promotion on write); its old shards are dropped after the
+		// directory flips so concurrent readers never miss both states.
+		if err := s.replicateObject(ctx, obj); err != nil {
+			return transport.Errf("server %d: replicate: %v", s.id, err)
+		}
+		if existed && priorState == types.StateEncoded {
+			if s.cfg.Policy.Mode == policy.CoREC {
+				// Defer the old stripe's release off the write path; the
+				// worker also re-evaluates whether the object must be
+				// re-encoded under the constraint.
+				s.deferStripeDrop(key, priorStripe)
+				s.enqueueEncode(key)
+			} else {
+				s.dropStripe(ctx, priorStripe, priorSize)
+			}
+		}
+		if s.cfg.Policy.Mode == policy.CoREC {
+			if cls := s.decider.Classifier(); cls != nil {
+				cls.SetEncoded(id, false)
+			}
+		}
+		return transport.Ok()
+
+	case policy.ActEncode:
+		// CoREC (Figure 6): the write is acknowledged as soon as the
+		// replica guarantees durability; the demotion to erasure coding
+		// runs in the background under the encoding token.
+		if s.cfg.Policy.Mode == policy.CoREC {
+			if err := s.replicateObject(ctx, obj); err != nil {
+				return transport.Errf("server %d: replicate: %v", s.id, err)
+			}
+			if existed && priorState == types.StateEncoded {
+				s.deferStripeDrop(key, priorStripe)
+			}
+			s.enqueueEncode(key)
+			return transport.Ok()
+		}
+		// Baselines encode synchronously on the write path: a replicated
+		// object being demoted sheds its replicas inside encodeObject; an
+		// encoded object being rewritten re-encodes over the same stripe.
+		reuse := types.StripeID{}
+		if existed && priorState == types.StateEncoded {
+			reuse = priorStripe
+		}
+		if err := s.encodeObject(ctx, obj, reuse, existed && priorState == types.StateReplicated); err != nil {
+			return transport.Errf("server %d: encode: %v", s.id, err)
+		}
+		return transport.Ok()
+	}
+	return transport.Errf("server %d: unknown action", s.id)
+}
+
+// replicateObject pushes full copies to the replication-group peers and
+// records the replicated state.
+func (s *Server) replicateObject(ctx context.Context, obj *types.Object) error {
+	targets := s.replicaHolders()
+	start := time.Now()
+	for _, t := range targets {
+		msg := &transport.Message{
+			Kind:    transport.MsgReplicaPut,
+			Var:     obj.ID.Var,
+			Box:     obj.ID.Box,
+			Version: obj.Version,
+			Data:    obj.Data,
+		}
+		resp, err := s.net.Send(ctx, s.id, t, msg)
+		if err == nil {
+			err = resp.AsError()
+		}
+		if err != nil {
+			// A dead replica target reduces protection until recovery; the
+			// write itself still succeeds (the paper's degraded operation).
+			continue
+		}
+	}
+	s.col.Add(metrics.Transport, time.Since(start))
+
+	s.setLocalState(obj.ID, obj.Version, len(obj.Data), types.StateReplicated, types.StripeID{})
+	meta := s.buildMeta(obj.ID, obj.Version, len(obj.Data), types.StateReplicated, types.StripeID{}, 0)
+	meta.Replicas = targets
+	if err := s.dirUpdate(ctx, meta); err != nil {
+		return err
+	}
+	return nil
+}
+
+// setLocalState records bookkeeping for a primary object and maintains the
+// storage-efficiency tallies.
+func (s *Server) setLocalState(id types.ObjectID, v types.Version, size int, st types.ResilienceState, stripe types.StripeID) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := id.Key()
+	if old, ok := s.local[key]; ok {
+		switch old.state {
+		case types.StateReplicated:
+			s.dataRepl -= int64(old.size)
+		case types.StateEncoded:
+			s.dataEnc -= int64(old.size)
+		}
+	}
+	s.local[key] = &localState{id: id, version: v, size: size, state: st, stripe: stripe}
+	switch st {
+	case types.StateReplicated:
+		s.dataRepl += int64(size)
+	case types.StateEncoded:
+		s.dataEnc += int64(size)
+	}
+}
+
+func (s *Server) buildMeta(id types.ObjectID, v types.Version, size int, st types.ResilienceState, stripe types.StripeID, shardIdx int) *types.ObjectMeta {
+	return &types.ObjectMeta{
+		ID:         id,
+		Version:    v,
+		Size:       size,
+		State:      st,
+		Primary:    s.id,
+		Stripe:     stripe,
+		ShardIndex: shardIdx,
+	}
+}
+
+// handleDelete evicts an object this server is primary for: the full
+// copy, its replicas, its stripe shards, its classifier state and its
+// directory records all go. Eviction is how a workflow reclaims staging
+// memory once a time step has been consumed.
+func (s *Server) handleDelete(ctx context.Context, req *transport.Message) *transport.Message {
+	key := req.Key
+	s.mu.Lock()
+	st, known := s.local[key]
+	var stripe types.StripeID
+	var state types.ResilienceState
+	var id types.ObjectID
+	if known {
+		stripe = st.stripe
+		state = st.state
+		id = st.id
+		// Remove bookkeeping and release the efficiency tallies.
+		switch st.state {
+		case types.StateReplicated:
+			s.dataRepl -= int64(st.size)
+		case types.StateEncoded:
+			s.dataEnc -= int64(st.size)
+		}
+		delete(s.local, key)
+	}
+	delete(s.objects, key)
+	delete(s.replicas, key)
+	// A superseded stripe awaiting background release dies with the object.
+	var pendingDrop types.StripeID
+	hadPending := false
+	if s.pendingDrops != nil {
+		if d, ok := s.pendingDrops[key]; ok {
+			pendingDrop, hadPending = d, true
+			delete(s.pendingDrops, key)
+		}
+	}
+	s.mu.Unlock()
+	if !known {
+		return &transport.Message{Kind: transport.MsgOK, Flag: false}
+	}
+	if hadPending {
+		s.dropStripe(ctx, pendingDrop, 0)
+	}
+	if state == types.StateEncoded {
+		s.dropStripe(ctx, stripe, st.size)
+	} else {
+		tStart := time.Now()
+		for _, t := range s.replicaHolders() {
+			s.net.Send(ctx, s.id, t, &transport.Message{Kind: transport.MsgReplicaDrop, Key: key}) //nolint:errcheck
+		}
+		s.col.Add(metrics.Transport, time.Since(tStart))
+	}
+	// Remove the directory records.
+	mStart := time.Now()
+	s.sendToGroup(ctx, s.dirGroup(key), &transport.Message{Kind: transport.MsgMetaDelete, Key: key}) //nolint:errcheck
+	s.col.Add(metrics.Metadata, time.Since(mStart))
+	if cls := s.decider.Classifier(); cls != nil {
+		cls.Forget(id)
+	}
+	return &transport.Message{Kind: transport.MsgOK, Flag: true}
+}
+
+// handleGet serves a full object copy: primary copy first, replica second.
+func (s *Server) handleGet(req *transport.Message) *transport.Message {
+	s.mu.Lock()
+	obj, ok := s.objects[req.Key]
+	if !ok {
+		obj, ok = s.replicas[req.Key]
+	}
+	s.mu.Unlock()
+	if !ok {
+		return &transport.Message{Kind: transport.MsgOK, Flag: false}
+	}
+	return &transport.Message{
+		Kind: transport.MsgGetBytes, Flag: true,
+		Var: obj.ID.Var, Box: obj.ID.Box, Version: obj.Version, Data: obj.Data,
+	}
+}
+
+// handleObjFetch is the server-to-server variant of Get used by helpers and
+// recovery; identical semantics.
+func (s *Server) handleObjFetch(req *transport.Message) *transport.Message {
+	return s.handleGet(req)
+}
+
+func (s *Server) handleReplicaPut(req *transport.Message) *transport.Message {
+	id := types.ObjectID{Var: req.Var, Box: req.Box}
+	s.mu.Lock()
+	s.replicas[id.Key()] = &types.Object{ID: id, Version: req.Version, Data: req.Data}
+	s.mu.Unlock()
+	return transport.Ok()
+}
+
+func (s *Server) handleReplicaDrop(req *transport.Message) *transport.Message {
+	s.mu.Lock()
+	// A versioned drop only removes replicas at or below that version, so
+	// a slow encode task can never discard a newer write's replica.
+	if rep, ok := s.replicas[req.Key]; ok && (req.Version == 0 || rep.Version <= req.Version) {
+		delete(s.replicas, req.Key)
+	}
+	s.mu.Unlock()
+	return transport.Ok()
+}
+
+func (s *Server) handleShardPut(req *transport.Message) *transport.Message {
+	sk := shardKey(req.Stripe, req.ShardIndex)
+	s.mu.Lock()
+	s.shards[sk] = req.Data
+	if req.StripeInfo != nil {
+		s.shardStripe[sk] = *req.StripeInfo
+	}
+	// Flag set means this shard replaces a full copy held locally (the
+	// primary transitioning its own object).
+	if req.Flag && req.Key != "" {
+		delete(s.objects, req.Key)
+	}
+	s.mu.Unlock()
+	return transport.Ok()
+}
+
+func (s *Server) handleShardGet(req *transport.Message) *transport.Message {
+	s.mu.Lock()
+	data, ok := s.shards[shardKey(req.Stripe, req.ShardIndex)]
+	s.mu.Unlock()
+	if !ok {
+		return &transport.Message{Kind: transport.MsgOK, Flag: false}
+	}
+	return &transport.Message{Kind: transport.MsgGetBytes, Flag: true, Data: data}
+}
+
+func (s *Server) handleShardDrop(req *transport.Message) *transport.Message {
+	sk := shardKey(req.Stripe, req.ShardIndex)
+	s.mu.Lock()
+	delete(s.shards, sk)
+	delete(s.shardStripe, sk)
+	s.mu.Unlock()
+	return transport.Ok()
+}
+
+// --- encoding token (one per replication group, held by the group leader) ---
+
+func (s *Server) tokenLeader() types.ServerID {
+	gi := s.groups.ReplicationGroup(s.id)
+	return s.groups.ReplicationGroupMembers(gi)[0]
+}
+
+func (s *Server) handleTokenAcquire(req *transport.Message) *transport.Message {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.tokenBusy {
+		return &transport.Message{Kind: transport.MsgOK, Flag: false}
+	}
+	s.tokenBusy = true
+	return &transport.Message{Kind: transport.MsgOK, Flag: true}
+}
+
+func (s *Server) handleTokenRelease(req *transport.Message) *transport.Message {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tokenBusy = false
+	return transport.Ok()
+}
+
+// acquireToken obtains the replication group's encoding token, retrying
+// briefly. If the leader is unreachable (failed) or the token stays busy
+// past a short bound, encoding proceeds without it: the token is a
+// load-balancing/conflict-avoidance optimization, not a correctness
+// requirement (per-object exclusivity comes from primary ownership).
+func (s *Server) acquireToken(ctx context.Context) (release func()) {
+	leader := s.tokenLeader()
+	msg := &transport.Message{Kind: transport.MsgTokenAcquire}
+	for attempt := 0; attempt < 8; attempt++ {
+		var resp *transport.Message
+		var err error
+		if leader == s.id {
+			resp = s.handleTokenAcquire(msg)
+		} else {
+			resp, err = s.net.Send(ctx, s.id, leader, msg)
+		}
+		if err != nil {
+			return func() {} // leader down: proceed tokenless
+		}
+		if resp.Kind == transport.MsgOK && resp.Flag {
+			return func() {
+				rel := &transport.Message{Kind: transport.MsgTokenRelease}
+				if leader == s.id {
+					s.handleTokenRelease(rel)
+				} else {
+					s.net.Send(context.Background(), s.id, leader, rel) //nolint:errcheck
+				}
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return func() {}
+		case <-time.After(50 * time.Microsecond):
+		}
+	}
+	return func() {} // starvation guard: proceed tokenless
+}

@@ -1,0 +1,300 @@
+// Package tiering prototypes the paper's future-work direction: extending
+// CoREC "to support multiple storage layers, for example, using NVRAM and
+// SSD, and designing new models for data resilience that incorporate
+// utility-based data placement across these layers" (Section VI).
+//
+// A Store spreads object payloads across a hierarchy of tiers (DRAM,
+// NVRAM, SSD) with per-tier capacity and access-cost models. Placement is
+// utility-driven: each object's utility density is its access frequency
+// times the latency saved by keeping it in the faster tier, per byte.
+// Rebalance solves the placement greedily by utility density — the
+// standard 1/2-approximation for this knapsack family — pinning the
+// highest-utility objects in the fastest tiers and spilling the rest.
+//
+// The store is a payload container, deliberately independent of the
+// staging server: the resilience runtime decides *what* to keep (full
+// copies, replicas, shards); tiering decides *where* those bytes live.
+package tiering
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Level identifies a storage tier, fastest first.
+type Level int
+
+// Tier levels.
+const (
+	DRAM Level = iota
+	NVRAM
+	SSD
+	numLevels
+)
+
+var levelNames = [...]string{"dram", "nvram", "ssd"}
+
+// String implements fmt.Stringer.
+func (l Level) String() string {
+	if int(l) >= 0 && int(l) < len(levelNames) {
+		return levelNames[l]
+	}
+	return fmt.Sprintf("Level(%d)", int(l))
+}
+
+// TierSpec models one layer of the hierarchy.
+type TierSpec struct {
+	// Capacity in bytes; 0 disables the tier.
+	Capacity int64
+	// ReadLatency / WriteLatency are fixed per-access costs.
+	ReadLatency, WriteLatency time.Duration
+	// BytesPerSecond is the tier's streaming bandwidth (0 = infinite).
+	BytesPerSecond float64
+}
+
+// ReadCost returns the modeled time to read size bytes.
+func (t TierSpec) ReadCost(size int) time.Duration {
+	d := t.ReadLatency
+	if t.BytesPerSecond > 0 {
+		d += time.Duration(float64(size) / t.BytesPerSecond * float64(time.Second))
+	}
+	return d
+}
+
+// WriteCost returns the modeled time to write size bytes.
+func (t TierSpec) WriteCost(size int) time.Duration {
+	d := t.WriteLatency
+	if t.BytesPerSecond > 0 {
+		d += time.Duration(float64(size) / t.BytesPerSecond * float64(time.Second))
+	}
+	return d
+}
+
+// Config is the tier hierarchy, indexed by Level.
+type Config struct {
+	Tiers [numLevels]TierSpec
+	// ApplyCosts, when set, sleeps for the modeled access costs so tiering
+	// effects show up in measured response times. Tests leave it off.
+	ApplyCosts bool
+}
+
+// DefaultConfig returns a hierarchy loosely calibrated to a node with
+// limited DRAM staging space, a byte-addressable NVRAM card, and a local
+// NVMe SSD (costs scaled to the experiments' microsecond fabric).
+func DefaultConfig(dramBytes int64) Config {
+	return Config{
+		Tiers: [numLevels]TierSpec{
+			DRAM:  {Capacity: dramBytes, ReadLatency: 0, WriteLatency: 0, BytesPerSecond: 16 << 30},
+			NVRAM: {Capacity: 4 * dramBytes, ReadLatency: 2 * time.Microsecond, WriteLatency: 6 * time.Microsecond, BytesPerSecond: 4 << 30},
+			SSD:   {Capacity: 64 * dramBytes, ReadLatency: 60 * time.Microsecond, WriteLatency: 90 * time.Microsecond, BytesPerSecond: 1 << 30},
+		},
+	}
+}
+
+type entry struct {
+	data  []byte
+	level Level
+	// freq is the caller-maintained access frequency used by Rebalance.
+	freq float64
+	// hits counts accesses since the last Rebalance (decayed into freq).
+	hits int64
+}
+
+// Store is a tiered payload container. Safe for concurrent use.
+type Store struct {
+	cfg Config
+
+	mu      sync.Mutex
+	entries map[string]*entry
+	used    [numLevels]int64
+	// stats
+	reads  [numLevels]int64
+	writes [numLevels]int64
+	moved  int64
+}
+
+// NewStore builds a store over the hierarchy.
+func NewStore(cfg Config) (*Store, error) {
+	if cfg.Tiers[DRAM].Capacity <= 0 {
+		return nil, fmt.Errorf("tiering: DRAM tier must have capacity")
+	}
+	return &Store{cfg: cfg, entries: make(map[string]*entry)}, nil
+}
+
+// Put stores (or replaces) a payload, preferring the fastest tier with
+// room and spilling downward when the hierarchy is tight. Returns the
+// level the payload landed on.
+func (s *Store) Put(key string, data []byte) (Level, error) {
+	s.mu.Lock()
+	old := s.entries[key]
+	if old != nil {
+		s.used[old.level] -= int64(len(old.data))
+	}
+	level, ok := s.fitLocked(int64(len(data)))
+	if !ok {
+		// Roll back the displaced entry before failing.
+		if old != nil {
+			s.used[old.level] += int64(len(old.data))
+		}
+		s.mu.Unlock()
+		return 0, fmt.Errorf("tiering: object of %d bytes exceeds total capacity", len(data))
+	}
+	e := &entry{data: data, level: level}
+	if old != nil {
+		e.freq, e.hits = old.freq, old.hits
+	}
+	s.entries[key] = e
+	s.used[level] += int64(len(data))
+	s.writes[level]++
+	cost := s.cfg.Tiers[level].WriteCost(len(data))
+	s.mu.Unlock()
+	s.charge(cost)
+	return level, nil
+}
+
+// fitLocked picks the fastest tier that can hold size bytes.
+func (s *Store) fitLocked(size int64) (Level, bool) {
+	for l := DRAM; l < numLevels; l++ {
+		spec := s.cfg.Tiers[l]
+		if spec.Capacity <= 0 {
+			continue
+		}
+		if s.used[l]+size <= spec.Capacity {
+			return l, true
+		}
+	}
+	return 0, false
+}
+
+// Get fetches a payload, recording the access for utility accounting.
+func (s *Store) Get(key string) ([]byte, Level, bool) {
+	s.mu.Lock()
+	e, ok := s.entries[key]
+	if !ok {
+		s.mu.Unlock()
+		return nil, 0, false
+	}
+	e.hits++
+	s.reads[e.level]++
+	level := e.level
+	data := e.data
+	cost := s.cfg.Tiers[level].ReadCost(len(data))
+	s.mu.Unlock()
+	s.charge(cost)
+	return data, level, true
+}
+
+// Delete removes a payload.
+func (s *Store) Delete(key string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[key]; ok {
+		s.used[e.level] -= int64(len(e.data))
+		delete(s.entries, key)
+	}
+}
+
+// Level reports the tier currently holding the key.
+func (s *Store) Level(key string) (Level, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok {
+		return 0, false
+	}
+	return e.level, true
+}
+
+// Usage returns the bytes resident per tier.
+func (s *Store) Usage() [numLevels]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.used
+}
+
+// Stats returns cumulative reads/writes per tier and objects moved by
+// rebalancing.
+func (s *Store) Stats() (reads, writes [numLevels]int64, moved int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reads, s.writes, s.moved
+}
+
+func (s *Store) charge(d time.Duration) {
+	if s.cfg.ApplyCosts && d > 0 {
+		time.Sleep(d)
+	}
+}
+
+// utility returns the per-byte utility density of keeping an object at
+// the given level rather than one level down: frequency times the read
+// latency it saves, per byte.
+func (s *Store) utility(e *entry, at Level) float64 {
+	if at >= numLevels-1 {
+		return 0
+	}
+	saving := s.cfg.Tiers[at+1].ReadCost(len(e.data)) - s.cfg.Tiers[at].ReadCost(len(e.data))
+	if saving < 0 {
+		saving = 0
+	}
+	if len(e.data) == 0 {
+		return 0
+	}
+	return e.freq * float64(saving) / float64(len(e.data))
+}
+
+// Rebalance folds recent hits into each object's frequency (exponential
+// decay) and re-solves placement: objects are ranked by utility density
+// and packed into the fastest tiers first. Returns the number of objects
+// that changed tier. Call periodically (e.g. at time-step boundaries).
+func (s *Store) Rebalance() int {
+	const decay = 0.5
+	s.mu.Lock()
+	defer s.mu.Unlock()
+
+	type ranked struct {
+		key string
+		e   *entry
+		u   float64
+	}
+	items := make([]ranked, 0, len(s.entries))
+	for k, e := range s.entries {
+		e.freq = e.freq*decay + float64(e.hits)
+		e.hits = 0
+		items = append(items, ranked{key: k, e: e, u: s.utility(e, DRAM)})
+	}
+	// Highest utility density first; ties broken by key for determinism.
+	sort.Slice(items, func(i, j int) bool {
+		if items[i].u != items[j].u {
+			return items[i].u > items[j].u
+		}
+		return items[i].key < items[j].key
+	})
+
+	var used [numLevels]int64
+	moved := 0
+	level := DRAM
+	for _, it := range items {
+		size := int64(len(it.e.data))
+		// Advance to the fastest tier with room.
+		l := level
+		for l < numLevels && (s.cfg.Tiers[l].Capacity <= 0 || used[l]+size > s.cfg.Tiers[l].Capacity) {
+			l++
+		}
+		if l >= numLevels {
+			// No room anywhere below: keep in the slowest tier (capacity
+			// models are advisory for the resident set's tail).
+			l = numLevels - 1
+		}
+		used[l] += size
+		if it.e.level != l {
+			it.e.level = l
+			moved++
+		}
+	}
+	s.used = used
+	s.moved += int64(moved)
+	return moved
+}

@@ -1,0 +1,223 @@
+package tiering
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func testConfig(dram int64) Config {
+	cfg := DefaultConfig(dram)
+	cfg.ApplyCosts = false
+	return cfg
+}
+
+func TestPutPrefersDRAM(t *testing.T) {
+	s, err := NewStore(testConfig(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	level, err := s.Put("a", make([]byte, 512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if level != DRAM {
+		t.Fatalf("first put landed on %v, want dram", level)
+	}
+}
+
+func TestPutSpillsWhenDRAMFull(t *testing.T) {
+	s, _ := NewStore(testConfig(1024))
+	if _, err := s.Put("a", make([]byte, 1000)); err != nil {
+		t.Fatal(err)
+	}
+	level, err := s.Put("b", make([]byte, 512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if level != NVRAM {
+		t.Fatalf("overflow landed on %v, want nvram", level)
+	}
+	// Fill NVRAM (4 KiB total, 512 used) too: next lands on SSD.
+	if _, err := s.Put("c", make([]byte, 3500)); err != nil {
+		t.Fatal(err)
+	}
+	level, err = s.Put("d", make([]byte, 512))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if level != SSD {
+		t.Fatalf("deep overflow landed on %v, want ssd", level)
+	}
+}
+
+func TestPutRejectsOversized(t *testing.T) {
+	s, _ := NewStore(testConfig(64))
+	// Total capacity = 64 + 256 + 4096.
+	if _, err := s.Put("big", make([]byte, 64+256+4096+1)); err == nil {
+		t.Fatal("oversized object accepted")
+	}
+}
+
+func TestPutReplaceFreesOldSpace(t *testing.T) {
+	s, _ := NewStore(testConfig(1024))
+	s.Put("a", make([]byte, 1000)) //nolint:errcheck
+	// Replacing with a smaller payload must fit back into DRAM.
+	level, err := s.Put("a", make([]byte, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if level != DRAM {
+		t.Fatalf("replacement landed on %v", level)
+	}
+	usage := s.Usage()
+	if usage[DRAM] != 100 {
+		t.Fatalf("DRAM usage = %d, want 100", usage[DRAM])
+	}
+}
+
+func TestGetRoundTripAndStats(t *testing.T) {
+	s, _ := NewStore(testConfig(1024))
+	payload := []byte{1, 2, 3}
+	s.Put("k", payload) //nolint:errcheck
+	got, level, ok := s.Get("k")
+	if !ok || level != DRAM || string(got) != string(payload) {
+		t.Fatalf("Get = %v %v %v", got, level, ok)
+	}
+	if _, _, ok := s.Get("missing"); ok {
+		t.Fatal("missing key found")
+	}
+	reads, writes, _ := s.Stats()
+	if reads[DRAM] != 1 || writes[DRAM] != 1 {
+		t.Fatalf("stats = %v %v", reads, writes)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s, _ := NewStore(testConfig(1024))
+	s.Put("k", make([]byte, 100)) //nolint:errcheck
+	s.Delete("k")
+	if _, _, ok := s.Get("k"); ok {
+		t.Fatal("deleted key still present")
+	}
+	if s.Usage()[DRAM] != 0 {
+		t.Fatal("delete did not release space")
+	}
+	s.Delete("k") // idempotent
+}
+
+func TestRebalancePromotesHotObjects(t *testing.T) {
+	// DRAM holds exactly one object; the hot one must win it.
+	s, _ := NewStore(testConfig(512))
+	s.Put("cold", make([]byte, 512)) //nolint:errcheck
+	s.Put("hot", make([]byte, 512))  //nolint:errcheck
+	if l, _ := s.Level("hot"); l != NVRAM {
+		t.Fatalf("hot starts on %v, want nvram (dram occupied)", l)
+	}
+	for i := 0; i < 10; i++ {
+		s.Get("hot")
+	}
+	s.Get("cold")
+	moved := s.Rebalance()
+	if moved == 0 {
+		t.Fatal("rebalance moved nothing")
+	}
+	if l, _ := s.Level("hot"); l != DRAM {
+		t.Fatalf("hot object on %v after rebalance, want dram", l)
+	}
+	if l, _ := s.Level("cold"); l != NVRAM {
+		t.Fatalf("cold object on %v after rebalance, want nvram", l)
+	}
+}
+
+func TestRebalanceFrequencyDecay(t *testing.T) {
+	// An object hot long ago loses its slot to a recently hot one.
+	s, _ := NewStore(testConfig(512))
+	s.Put("old", make([]byte, 512)) //nolint:errcheck
+	s.Put("new", make([]byte, 512)) //nolint:errcheck
+	for i := 0; i < 20; i++ {
+		s.Get("old")
+	}
+	s.Rebalance()
+	if l, _ := s.Level("old"); l != DRAM {
+		t.Fatal("previously hot object not promoted")
+	}
+	// Several quiet rounds while "new" heats up.
+	for round := 0; round < 6; round++ {
+		for i := 0; i < 4; i++ {
+			s.Get("new")
+		}
+		s.Rebalance()
+	}
+	if l, _ := s.Level("new"); l != DRAM {
+		t.Fatal("recently hot object not promoted after decay")
+	}
+}
+
+func TestRebalanceStableWhenNothingChanges(t *testing.T) {
+	s, _ := NewStore(testConfig(4096))
+	for i := 0; i < 4; i++ {
+		s.Put(fmt.Sprintf("k%d", i), make([]byte, 256)) //nolint:errcheck
+	}
+	s.Rebalance()
+	if moved := s.Rebalance(); moved != 0 {
+		t.Fatalf("idle rebalance moved %d objects", moved)
+	}
+}
+
+func TestTierCostModels(t *testing.T) {
+	spec := TierSpec{ReadLatency: time.Millisecond, WriteLatency: 2 * time.Millisecond, BytesPerSecond: 1000}
+	if got := spec.ReadCost(500); got != time.Millisecond+500*time.Millisecond {
+		t.Fatalf("ReadCost = %v", got)
+	}
+	if got := spec.WriteCost(0); got != 2*time.Millisecond {
+		t.Fatalf("WriteCost = %v", got)
+	}
+	cfg := DefaultConfig(1 << 20)
+	if !(cfg.Tiers[DRAM].ReadCost(4096) < cfg.Tiers[NVRAM].ReadCost(4096)) ||
+		!(cfg.Tiers[NVRAM].ReadCost(4096) < cfg.Tiers[SSD].ReadCost(4096)) {
+		t.Fatal("tier read costs not ordered dram < nvram < ssd")
+	}
+}
+
+func TestNewStoreValidation(t *testing.T) {
+	if _, err := NewStore(Config{}); err == nil {
+		t.Fatal("zero-capacity DRAM accepted")
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if DRAM.String() != "dram" || NVRAM.String() != "nvram" || SSD.String() != "ssd" {
+		t.Fatal("level names wrong")
+	}
+	if Level(9).String() == "" {
+		t.Fatal("unknown level empty")
+	}
+}
+
+func TestApplyCostsSleeps(t *testing.T) {
+	cfg := testConfig(1024)
+	cfg.ApplyCosts = true
+	cfg.Tiers[DRAM].ReadLatency = 2 * time.Millisecond
+	s, _ := NewStore(cfg)
+	s.Put("k", []byte{1}) //nolint:errcheck
+	start := time.Now()
+	s.Get("k")
+	if time.Since(start) < 2*time.Millisecond {
+		t.Fatal("ApplyCosts did not charge the modeled latency")
+	}
+}
+
+func BenchmarkRebalance1000(b *testing.B) {
+	s, _ := NewStore(testConfig(64 << 10))
+	for i := 0; i < 1000; i++ {
+		s.Put(fmt.Sprintf("k%04d", i), make([]byte, 256)) //nolint:errcheck
+		if i%3 == 0 {
+			s.Get(fmt.Sprintf("k%04d", i))
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Rebalance()
+	}
+}

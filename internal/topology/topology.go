@@ -1,0 +1,210 @@
+// Package topology models the physical organization of staging servers
+// (cabinets and nodes) and derives from it the logical server ring and the
+// replication / erasure-coding groups of CoREC's grouped placement scheme
+// (Section III-A of the paper).
+//
+// The key property: servers are reordered into a logical ring such that any
+// window of up to FailureDomains() consecutive ring positions contains
+// servers from pairwise-distinct failure domains. Replication groups and
+// coding groups are contiguous ring windows, so a correlated failure (one
+// cabinet losing power) removes at most one member from any group.
+package topology
+
+import (
+	"fmt"
+
+	"corec/internal/types"
+)
+
+// Server describes one staging server's physical placement.
+type Server struct {
+	// Physical is the server's original (pre-reordering) index.
+	Physical int
+	// Cabinet and Node locate the server in the machine. Servers sharing a
+	// cabinet form one failure domain for correlated-failure modelling.
+	Cabinet int
+	Node    int
+}
+
+// Topology is the immutable physical layout plus the derived logical ring.
+type Topology struct {
+	servers []Server // indexed by logical ServerID (ring order)
+	domains int      // number of distinct cabinets
+}
+
+// New builds a topology from the physical server list and computes the
+// logical ring ordering via round-robin interleaving across cabinets:
+// position i of the ring takes the next unused server of cabinet i mod C.
+// With equal-size cabinets this guarantees any C consecutive ring slots
+// touch C distinct cabinets.
+func New(servers []Server) (*Topology, error) {
+	if len(servers) == 0 {
+		return nil, fmt.Errorf("topology: no servers")
+	}
+	// Bucket by cabinet, preserving input order within a cabinet.
+	buckets := make(map[int][]Server)
+	var cabinets []int
+	for _, s := range servers {
+		if _, ok := buckets[s.Cabinet]; !ok {
+			cabinets = append(cabinets, s.Cabinet)
+		}
+		buckets[s.Cabinet] = append(buckets[s.Cabinet], s)
+	}
+	ring := make([]Server, 0, len(servers))
+	for len(ring) < len(servers) {
+		progressed := false
+		for _, c := range cabinets {
+			if len(buckets[c]) > 0 {
+				ring = append(ring, buckets[c][0])
+				buckets[c] = buckets[c][1:]
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return &Topology{servers: ring, domains: len(cabinets)}, nil
+}
+
+// Uniform builds a topology of n servers spread evenly over the given
+// number of cabinets (the common experimental configuration). Server i sits
+// in cabinet i / ceil(n/cabinets).
+func Uniform(n, cabinets int) (*Topology, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("topology: non-positive server count %d", n)
+	}
+	if cabinets <= 0 || cabinets > n {
+		return nil, fmt.Errorf("topology: cabinet count %d out of range [1,%d]", cabinets, n)
+	}
+	perCab := (n + cabinets - 1) / cabinets
+	servers := make([]Server, n)
+	for i := range servers {
+		servers[i] = Server{Physical: i, Cabinet: i / perCab, Node: i}
+	}
+	return New(servers)
+}
+
+// NumServers returns the server count.
+func (t *Topology) NumServers() int { return len(t.servers) }
+
+// FailureDomains returns the number of distinct cabinets.
+func (t *Topology) FailureDomains() int { return t.domains }
+
+// Server returns the physical description of the logical server id.
+func (t *Topology) Server(id types.ServerID) Server {
+	return t.servers[int(id)]
+}
+
+// RingNext returns the logical server that follows id on the ring.
+func (t *Topology) RingNext(id types.ServerID) types.ServerID {
+	return types.ServerID((int(id) + 1) % len(t.servers))
+}
+
+// RingWindow returns the window of size n starting at logical id start,
+// wrapping around the ring.
+func (t *Topology) RingWindow(start types.ServerID, n int) []types.ServerID {
+	out := make([]types.ServerID, n)
+	for i := 0; i < n; i++ {
+		out[i] = types.ServerID((int(start) + i) % len(t.servers))
+	}
+	return out
+}
+
+// DistinctDomains reports whether the given logical servers all sit in
+// pairwise distinct cabinets.
+func (t *Topology) DistinctDomains(ids []types.ServerID) bool {
+	seen := make(map[int]bool, len(ids))
+	for _, id := range ids {
+		c := t.servers[int(id)].Cabinet
+		if seen[c] {
+			return false
+		}
+		seen[c] = true
+	}
+	return true
+}
+
+// Groups holds the replication and coding group assignments derived from
+// the ring.
+type Groups struct {
+	// ReplicaSize is the number of servers per replication group
+	// (1 + number of replicas).
+	ReplicaSize int
+	// CodingSize is the number of servers per coding group (n = k+m).
+	CodingSize int
+	numServers int
+}
+
+// NewGroups validates and constructs the group geometry over a topology.
+// The server count must be divisible by both group sizes so groups tile the
+// ring exactly (the paper's twelve-server example uses replica groups of 2
+// and coding groups of 3).
+func NewGroups(t *Topology, replicaSize, codingSize int) (*Groups, error) {
+	n := t.NumServers()
+	if replicaSize < 1 || replicaSize > n {
+		return nil, fmt.Errorf("topology: replication group size %d out of range [1,%d]", replicaSize, n)
+	}
+	if codingSize < 2 || codingSize > n {
+		return nil, fmt.Errorf("topology: coding group size %d out of range [2,%d]", codingSize, n)
+	}
+	if n%replicaSize != 0 {
+		return nil, fmt.Errorf("topology: %d servers not divisible into replication groups of %d", n, replicaSize)
+	}
+	if n%codingSize != 0 {
+		return nil, fmt.Errorf("topology: %d servers not divisible into coding groups of %d", n, codingSize)
+	}
+	return &Groups{ReplicaSize: replicaSize, CodingSize: codingSize, numServers: n}, nil
+}
+
+// ReplicationGroup returns the index of the replication group containing
+// the server.
+func (g *Groups) ReplicationGroup(id types.ServerID) int {
+	return int(id) / g.ReplicaSize
+}
+
+// ReplicationGroupMembers returns the servers of replication group gi in
+// ring order.
+func (g *Groups) ReplicationGroupMembers(gi int) []types.ServerID {
+	out := make([]types.ServerID, g.ReplicaSize)
+	for i := range out {
+		out[i] = types.ServerID(gi*g.ReplicaSize + i)
+	}
+	return out
+}
+
+// NumReplicationGroups returns the number of replication groups.
+func (g *Groups) NumReplicationGroups() int { return g.numServers / g.ReplicaSize }
+
+// CodingGroup returns the index of the coding group containing the server.
+func (g *Groups) CodingGroup(id types.ServerID) int {
+	return int(id) / g.CodingSize
+}
+
+// CodingGroupMembers returns the servers of coding group gi in ring order.
+func (g *Groups) CodingGroupMembers(gi int) []types.ServerID {
+	out := make([]types.ServerID, g.CodingSize)
+	for i := range out {
+		out[i] = types.ServerID(gi*g.CodingSize + i)
+	}
+	return out
+}
+
+// NumCodingGroups returns the number of coding groups.
+func (g *Groups) NumCodingGroups() int { return g.numServers / g.CodingSize }
+
+// ReplicaTargets returns the servers that hold copies of an object whose
+// primary is the given server: the other members of its replication group,
+// in ring order starting after the primary. count limits the number of
+// replicas returned (count <= ReplicaSize-1).
+func (g *Groups) ReplicaTargets(primary types.ServerID, count int) []types.ServerID {
+	gi := g.ReplicationGroup(primary)
+	members := g.ReplicationGroupMembers(gi)
+	out := make([]types.ServerID, 0, count)
+	// Walk the group starting just after the primary's slot.
+	start := int(primary) - gi*g.ReplicaSize
+	for i := 1; i <= len(members)-1 && len(out) < count; i++ {
+		out = append(out, members[(start+i)%len(members)])
+	}
+	return out
+}

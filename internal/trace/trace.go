@@ -1,0 +1,157 @@
+// Package trace records and replays staging access traces. A trace is the
+// JSON-lines serialization of a workload (one record per put/get), which
+// makes experiments reproducible across machines, lets users capture a
+// real application's access pattern once and re-drive the staging cluster
+// with it, and provides the substrate for trace-driven classifier studies
+// (the empirical miss-ratio analysis in the model-validation experiment).
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"corec/internal/geometry"
+	"corec/internal/types"
+	"corec/internal/workload"
+)
+
+// OpKind distinguishes record types.
+type OpKind string
+
+// Operation kinds.
+const (
+	OpWrite OpKind = "write"
+	OpRead  OpKind = "read"
+	OpStep  OpKind = "step" // time-step boundary marker
+)
+
+// Record is one trace line.
+type Record struct {
+	Op OpKind `json:"op"`
+	// TS is the time step of the operation.
+	TS types.Version `json:"ts"`
+	// Var is the variable name (empty for step markers).
+	Var string `json:"var,omitempty"`
+	// Lo/Hi are the region corners (omitted for step markers).
+	Lo []int64 `json:"lo,omitempty"`
+	Hi []int64 `json:"hi,omitempty"`
+}
+
+// Box returns the record's region.
+func (r *Record) Box() geometry.Box { return geometry.Box{Lo: r.Lo, Hi: r.Hi} }
+
+// Writer streams records as JSON lines.
+type Writer struct {
+	w   *bufio.Writer
+	enc *json.Encoder
+	n   int
+}
+
+// NewWriter wraps w.
+func NewWriter(w io.Writer) *Writer {
+	bw := bufio.NewWriter(w)
+	return &Writer{w: bw, enc: json.NewEncoder(bw)}
+}
+
+// Write emits one record.
+func (t *Writer) Write(r Record) error {
+	if r.Op != OpStep {
+		if r.Var == "" {
+			return fmt.Errorf("trace: %s record without variable", r.Op)
+		}
+		if !r.Box().Valid() {
+			return fmt.Errorf("trace: %s record with invalid region", r.Op)
+		}
+	}
+	t.n++
+	return t.enc.Encode(r)
+}
+
+// Count returns the records written so far.
+func (t *Writer) Count() int { return t.n }
+
+// Flush drains buffered output.
+func (t *Writer) Flush() error { return t.w.Flush() }
+
+// Read parses a whole trace.
+func Read(r io.Reader) ([]Record, error) {
+	var out []Record
+	dec := json.NewDecoder(bufio.NewReader(r))
+	for {
+		var rec Record
+		if err := dec.Decode(&rec); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("trace: record %d: %w", len(out)+1, err)
+		}
+		switch rec.Op {
+		case OpWrite, OpRead, OpStep:
+		default:
+			return nil, fmt.Errorf("trace: record %d: unknown op %q", len(out)+1, rec.Op)
+		}
+		if rec.Op != OpStep && !rec.Box().Valid() {
+			return nil, fmt.Errorf("trace: record %d: invalid region", len(out)+1)
+		}
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+// FromWorkload serializes a generated workload into trace records.
+func FromWorkload(w *workload.Workload) []Record {
+	var out []Record
+	for _, step := range w.Steps {
+		for _, b := range step.Writes {
+			out = append(out, Record{Op: OpWrite, TS: step.TS, Var: w.Cfg.Var, Lo: b.Lo, Hi: b.Hi})
+		}
+		for _, b := range step.Reads {
+			out = append(out, Record{Op: OpRead, TS: step.TS, Var: w.Cfg.Var, Lo: b.Lo, Hi: b.Hi})
+		}
+		out = append(out, Record{Op: OpStep, TS: step.TS})
+	}
+	return out
+}
+
+// ToWorkload reassembles a workload from trace records. The variable name
+// is taken from the first non-step record; step markers delimit time
+// steps (records between markers inherit their own TS fields).
+func ToWorkload(records []Record) (*workload.Workload, error) {
+	if len(records) == 0 {
+		return nil, fmt.Errorf("trace: empty trace")
+	}
+	w := &workload.Workload{}
+	steps := make(map[types.Version]*workload.Step)
+	var order []types.Version
+	for _, rec := range records {
+		if rec.Op == OpStep {
+			continue
+		}
+		if w.Cfg.Var == "" {
+			w.Cfg.Var = rec.Var
+		}
+		st, ok := steps[rec.TS]
+		if !ok {
+			st = &workload.Step{TS: rec.TS}
+			steps[rec.TS] = st
+			order = append(order, rec.TS)
+		}
+		switch rec.Op {
+		case OpWrite:
+			st.Writes = append(st.Writes, rec.Box())
+		case OpRead:
+			st.Reads = append(st.Reads, rec.Box())
+		}
+	}
+	if len(order) == 0 {
+		return nil, fmt.Errorf("trace: no operations")
+	}
+	// Steps appear in first-occurrence order; traces are recorded in
+	// execution order so this preserves the original sequence.
+	for _, ts := range order {
+		w.Steps = append(w.Steps, *steps[ts])
+	}
+	w.Cfg.TimeSteps = len(w.Steps)
+	return w, nil
+}

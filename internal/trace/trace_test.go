@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"corec/internal/geometry"
+	"corec/internal/workload"
+)
+
+func sampleWorkload(t *testing.T) *workload.Workload {
+	t.Helper()
+	w, err := workload.Generate(workload.Config{
+		Pattern:   workload.Case3Hotspot,
+		Domain:    geometry.Box3D(0, 0, 0, 32, 32, 32),
+		BlockSize: []int64{16, 16, 16},
+		TimeSteps: 4,
+		Var:       "f",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestWorkloadTraceRoundTrip(t *testing.T) {
+	w := sampleWorkload(t)
+	records := FromWorkload(w)
+
+	var buf bytes.Buffer
+	tw := NewWriter(&buf)
+	for _, r := range records {
+		if err := tw.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if tw.Count() != len(records) {
+		t.Fatalf("Count = %d, want %d", tw.Count(), len(records))
+	}
+
+	parsed, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != len(records) {
+		t.Fatalf("parsed %d records, want %d", len(parsed), len(records))
+	}
+
+	back, err := ToWorkload(parsed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Steps) != len(w.Steps) {
+		t.Fatalf("replayed %d steps, want %d", len(back.Steps), len(w.Steps))
+	}
+	for i := range w.Steps {
+		if back.Steps[i].TS != w.Steps[i].TS {
+			t.Fatalf("step %d: ts %d, want %d", i, back.Steps[i].TS, w.Steps[i].TS)
+		}
+		if len(back.Steps[i].Writes) != len(w.Steps[i].Writes) ||
+			len(back.Steps[i].Reads) != len(w.Steps[i].Reads) {
+			t.Fatalf("step %d: op counts differ", i)
+		}
+		for j := range w.Steps[i].Writes {
+			if !back.Steps[i].Writes[j].Equal(w.Steps[i].Writes[j]) {
+				t.Fatalf("step %d write %d region mismatch", i, j)
+			}
+		}
+	}
+	if back.Cfg.Var != "f" {
+		t.Fatalf("variable lost: %q", back.Cfg.Var)
+	}
+}
+
+func TestWriterValidation(t *testing.T) {
+	tw := NewWriter(&bytes.Buffer{})
+	if err := tw.Write(Record{Op: OpWrite, TS: 1, Lo: []int64{0}, Hi: []int64{4}}); err == nil {
+		t.Fatal("record without variable accepted")
+	}
+	if err := tw.Write(Record{Op: OpRead, TS: 1, Var: "v", Lo: []int64{4}, Hi: []int64{0}}); err == nil {
+		t.Fatal("invalid region accepted")
+	}
+	if err := tw.Write(Record{Op: OpStep, TS: 1}); err != nil {
+		t.Fatalf("step marker rejected: %v", err)
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"op":"dance","ts":1}` + "\n")); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+	if _, err := Read(strings.NewReader(`{"op":"write","ts":1,"var":"v","lo":[4],"hi":[0]}` + "\n")); err == nil {
+		t.Fatal("inverted region accepted")
+	}
+}
+
+func TestToWorkloadValidation(t *testing.T) {
+	if _, err := ToWorkload(nil); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+	if _, err := ToWorkload([]Record{{Op: OpStep, TS: 1}}); err == nil {
+		t.Fatal("marker-only trace accepted")
+	}
+}
+
+func TestHumanReadableFormat(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewWriter(&buf)
+	rec := Record{Op: OpWrite, TS: 3, Var: "temp", Lo: []int64{0, 0}, Hi: []int64{4, 4}}
+	if err := tw.Write(rec); err != nil {
+		t.Fatal(err)
+	}
+	tw.Flush() //nolint:errcheck
+	line := buf.String()
+	for _, want := range []string{`"op":"write"`, `"ts":3`, `"var":"temp"`} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("trace line missing %s: %s", want, line)
+		}
+	}
+}

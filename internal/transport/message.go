@@ -1,0 +1,172 @@
+// Package transport carries the staging protocol between clients and
+// servers. Two interchangeable fabrics are provided: an in-process network
+// (goroutine handlers plus a simnet link model, standing in for RDMA within
+// one experiment process) and a TCP network (length-prefixed frames, for the
+// standalone corec-server deployment).
+//
+// All protocol messages share the Message superset struct so one binary
+// codec covers the whole protocol; unused fields cost nothing on the wire
+// thanks to presence flags.
+package transport
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"corec/internal/geometry"
+	"corec/internal/types"
+)
+
+// Kind enumerates protocol message types.
+type Kind uint8
+
+// Protocol message kinds. Request kinds are grouped by subsystem; OK and Err
+// are the generic responses.
+const (
+	// Generic responses.
+	MsgOK Kind = iota
+	MsgErr
+
+	// Client data plane.
+	MsgPut      // store an object (Var, Box, Version, Data)
+	MsgGet      // fetch an object by exact identity (Var, Box, Version)
+	MsgQuery    // directory query: all objects of Var intersecting Box at Version
+	MsgGetBytes // response carrier: Data holds the payload
+	MsgDelete   // evict an object: drop copies, shards and metadata (Key)
+
+	// Replication plane.
+	MsgReplicaPut  // store a replica copy
+	MsgReplicaDrop // drop a replica after an encode transition
+
+	// Erasure plane.
+	MsgShardPut       // store one stripe shard (Stripe, ShardIndex, Data)
+	MsgShardGet       // fetch one stripe shard
+	MsgShardDrop      // drop one stripe shard (hybrid churn, promotions)
+	MsgObjFetch       // fetch the full local copy of an object (helper encode, recovery)
+	MsgEncodeDelegate // hand an object's encoding task to the helper server (Key)
+
+	// Metadata plane.
+	MsgMetaUpdate   // upsert an ObjectMeta record
+	MsgMetaLookup   // fetch ObjectMeta by Key
+	MsgMetaQuery    // fetch all ObjectMeta for Var intersecting Box
+	MsgMetaDelete   // remove an ObjectMeta record
+	MsgStripeUpdate // upsert a StripeInfo record
+	MsgStripeLookup // fetch StripeInfo by Stripe id
+	MsgDirDump      // dump a directory shard (recovery of lost metadata)
+
+	// Coordination plane.
+	MsgTokenAcquire // request the replication group's encoding token
+	MsgTokenRelease // return the encoding token
+	MsgLoadQuery    // ask a server for its current load level
+	MsgPing         // liveness probe
+	MsgRecover      // instruct a server to recover an object (Key)
+	MsgStats        // ask a server for its status report (JSON in Data)
+
+	kindCount // sentinel; keep last
+)
+
+var kindNames = [...]string{
+	"OK", "Err", "Put", "Get", "Query", "GetBytes", "Delete",
+	"ReplicaPut", "ReplicaDrop",
+	"ShardPut", "ShardGet", "ShardDrop", "ObjFetch", "EncodeDelegate",
+	"MetaUpdate", "MetaLookup", "MetaQuery", "MetaDelete", "StripeUpdate", "StripeLookup", "DirDump",
+	"TokenAcquire", "TokenRelease", "LoadQuery", "Ping", "Recover", "Stats",
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("Kind(%d)", uint8(k))
+}
+
+// Message is the protocol superset: each kind uses the subset of fields it
+// needs and leaves the rest zero.
+type Message struct {
+	Kind    Kind
+	From    types.ServerID
+	Var     string
+	Box     geometry.Box
+	Version types.Version
+	Data    []byte
+	Key     string
+	Stripe  types.StripeID
+	// ShardIndex is the shard slot within Stripe for shard messages.
+	ShardIndex int
+	// K, M, ShardSize describe stripe geometry on MsgShardPut.
+	K, M, ShardSize int
+	Meta            *types.ObjectMeta
+	Metas           []types.ObjectMeta
+	StripeInfo      *types.StripeInfo
+	Stripes         []types.StripeInfo
+	// Flag is a general boolean (e.g. token granted, object found).
+	Flag bool
+	// Num is a general integer (e.g. load level).
+	Num int64
+	Err string
+}
+
+// Ok returns the generic success response.
+func Ok() *Message { return &Message{Kind: MsgOK} }
+
+// Errf returns an error response with a formatted message.
+func Errf(format string, args ...any) *Message {
+	return &Message{Kind: MsgErr, Err: fmt.Sprintf(format, args...)}
+}
+
+// AsError converts an MsgErr response into a Go error; any other kind maps
+// to nil.
+func (m *Message) AsError() error {
+	if m != nil && m.Kind == MsgErr {
+		return errors.New(m.Err)
+	}
+	return nil
+}
+
+// WireSize estimates the serialized size in bytes, used by the link model
+// to charge bandwidth. It intentionally matches the codec's framing closely
+// (exactness is not required; the dominant term is len(Data)).
+func (m *Message) WireSize() int {
+	s := 64 + len(m.Var) + len(m.Key) + len(m.Data) + len(m.Err)
+	s += 16 * m.Box.Dims()
+	if m.Meta != nil {
+		s += metaWireSize(m.Meta)
+	}
+	for i := range m.Metas {
+		s += metaWireSize(&m.Metas[i])
+	}
+	if m.StripeInfo != nil {
+		s += 32 + 24*len(m.StripeInfo.Members)
+	}
+	for i := range m.Stripes {
+		s += 32 + 24*len(m.Stripes[i].Members)
+	}
+	return s
+}
+
+func metaWireSize(meta *types.ObjectMeta) int {
+	return 64 + len(meta.ID.Var) + 16*meta.ID.Box.Dims() + 8*len(meta.Replicas)
+}
+
+// Handler processes one request and returns the response. Handlers must be
+// safe for concurrent use.
+type Handler func(ctx context.Context, req *Message) *Message
+
+// ErrUnreachable is returned by Send when the destination has no registered
+// handler (the server failed or never existed).
+var ErrUnreachable = errors.New("transport: destination unreachable")
+
+// Network is the fabric abstraction: register a server's handler, send
+// request/response pairs.
+type Network interface {
+	// Register installs the handler for a server. Re-registering replaces
+	// the handler (used when a replacement server takes over an ID).
+	Register(id types.ServerID, h Handler)
+	// Unregister removes a server from the fabric; subsequent Sends fail
+	// with ErrUnreachable. Used by the failure injector.
+	Unregister(id types.ServerID)
+	// Send delivers req to the destination server and returns its response.
+	Send(ctx context.Context, from, to types.ServerID, req *Message) (*Message, error)
+}

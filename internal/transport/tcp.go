@@ -1,0 +1,303 @@
+package transport
+
+import (
+	"context"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+
+	"corec/internal/types"
+)
+
+// The TCP fabric serializes Messages with the wire codec and frames them
+// with a 4-byte little-endian length prefix. Each in-flight request owns one
+// pooled connection, so responses need no correlation IDs.
+
+const maxFrame = 1 << 30
+
+// WriteFrame writes one length-prefixed message to w.
+func WriteFrame(w io.Writer, m *Message) error {
+	payload := Encode(m, nil)
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed message from r.
+func ReadFrame(r io.Reader) (*Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return Decode(buf)
+}
+
+// TCPServer serves the staging protocol on a TCP listener, dispatching each
+// request to a Handler. One goroutine per connection; requests on a
+// connection are served sequentially (matching the client's one-request-
+// per-connection discipline).
+type TCPServer struct {
+	handler  Handler
+	listener net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+}
+
+// NewTCPServer listens on addr (e.g. "127.0.0.1:0") and serves requests
+// with h until Close.
+func NewTCPServer(addr string, h Handler) (*TCPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &TCPServer{handler: h, listener: ln, conns: make(map[net.Conn]struct{})}
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return s, nil
+}
+
+// Addr returns the bound listen address.
+func (s *TCPServer) Addr() string { return s.listener.Addr().String() }
+
+func (s *TCPServer) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+func (s *TCPServer) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+	for {
+		req, err := ReadFrame(conn)
+		if err != nil {
+			return
+		}
+		resp := s.handler(context.Background(), req)
+		if resp == nil {
+			resp = Ok()
+		}
+		if err := WriteFrame(conn, resp); err != nil {
+			return
+		}
+	}
+}
+
+// Close stops accepting and tears down all connections.
+func (s *TCPServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	err := s.listener.Close()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return err
+}
+
+// TCPNetwork implements Network over TCP: a directory maps server IDs to
+// addresses, and a small per-destination connection pool amortizes dials.
+// Register/Unregister manage locally hosted servers (each gets its own
+// TCPServer).
+type TCPNetwork struct {
+	mu      sync.Mutex
+	addrs   map[types.ServerID]string
+	servers map[types.ServerID]*TCPServer
+	pool    map[types.ServerID][]net.Conn
+	// listenAddr is the host/interface used for locally hosted servers.
+	listenAddr string
+}
+
+var _ Network = (*TCPNetwork)(nil)
+
+// NewTCPNetwork creates a TCP fabric whose locally registered servers bind
+// to listenHost (e.g. "127.0.0.1").
+func NewTCPNetwork(listenHost string) *TCPNetwork {
+	return &TCPNetwork{
+		addrs:      make(map[types.ServerID]string),
+		servers:    make(map[types.ServerID]*TCPServer),
+		pool:       make(map[types.ServerID][]net.Conn),
+		listenAddr: listenHost,
+	}
+}
+
+// Register implements Network: it spins up a TCP server for the handler on
+// an ephemeral port and records its address.
+func (n *TCPNetwork) Register(id types.ServerID, h Handler) {
+	srv, err := NewTCPServer(net.JoinHostPort(n.listenAddr, "0"), h)
+	if err != nil {
+		// Registration has no error path in the interface; fail loudly.
+		panic(fmt.Sprintf("transport: cannot listen for server %d: %v", id, err))
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if old, ok := n.servers[id]; ok {
+		old.Close()
+	}
+	n.servers[id] = srv
+	n.addrs[id] = srv.Addr()
+	n.dropPoolLocked(id)
+}
+
+// Addr returns the known address for a server, if any.
+func (n *TCPNetwork) Addr(id types.ServerID) (string, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	addr, ok := n.addrs[id]
+	return addr, ok
+}
+
+// Registered reports whether the fabric knows an address for the server.
+func (n *TCPNetwork) Registered(id types.ServerID) bool {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_, ok := n.addrs[id]
+	return ok
+}
+
+// AddRemote records the address of a server hosted elsewhere.
+func (n *TCPNetwork) AddRemote(id types.ServerID, addr string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.addrs[id] = addr
+	n.dropPoolLocked(id)
+}
+
+// Unregister implements Network.
+func (n *TCPNetwork) Unregister(id types.ServerID) {
+	n.mu.Lock()
+	srv := n.servers[id]
+	delete(n.servers, id)
+	delete(n.addrs, id)
+	n.dropPoolLocked(id)
+	n.mu.Unlock()
+	if srv != nil {
+		srv.Close()
+	}
+}
+
+func (n *TCPNetwork) dropPoolLocked(id types.ServerID) {
+	for _, c := range n.pool[id] {
+		c.Close()
+	}
+	delete(n.pool, id)
+}
+
+func (n *TCPNetwork) getConn(to types.ServerID) (net.Conn, error) {
+	n.mu.Lock()
+	addr, ok := n.addrs[to]
+	if !ok {
+		n.mu.Unlock()
+		return nil, ErrUnreachable
+	}
+	if conns := n.pool[to]; len(conns) > 0 {
+		c := conns[len(conns)-1]
+		n.pool[to] = conns[:len(conns)-1]
+		n.mu.Unlock()
+		return c, nil
+	}
+	n.mu.Unlock()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
+	}
+	return c, nil
+}
+
+func (n *TCPNetwork) putConn(to types.ServerID, c net.Conn) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.addrs[to]; !ok || len(n.pool[to]) >= 8 {
+		c.Close()
+		return
+	}
+	n.pool[to] = append(n.pool[to], c)
+}
+
+// Send implements Network.
+func (n *TCPNetwork) Send(ctx context.Context, from, to types.ServerID, req *Message) (*Message, error) {
+	conn, err := n.getConn(to)
+	if err != nil {
+		return nil, err
+	}
+	req.From = from
+	if dl, ok := ctx.Deadline(); ok {
+		conn.SetDeadline(dl)
+	} else {
+		conn.SetDeadline(time.Time{})
+	}
+	resp, err := n.send(conn, req)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	n.putConn(to, conn)
+	return resp, nil
+}
+
+func (n *TCPNetwork) send(conn net.Conn, req *Message) (*Message, error) {
+	if err := WriteFrame(conn, req); err != nil {
+		return nil, err
+	}
+	return ReadFrame(conn)
+}
+
+// Close tears down all hosted servers and pooled connections.
+func (n *TCPNetwork) Close() {
+	n.mu.Lock()
+	servers := make([]*TCPServer, 0, len(n.servers))
+	for _, s := range n.servers {
+		servers = append(servers, s)
+	}
+	n.servers = make(map[types.ServerID]*TCPServer)
+	for id := range n.pool {
+		n.dropPoolLocked(id)
+	}
+	n.addrs = make(map[types.ServerID]string)
+	n.mu.Unlock()
+	for _, s := range servers {
+		s.Close()
+	}
+}

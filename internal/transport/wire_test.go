@@ -1,0 +1,184 @@
+package transport
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"corec/internal/geometry"
+	"corec/internal/types"
+)
+
+func sampleMessage() *Message {
+	return &Message{
+		Kind:       MsgShardPut,
+		From:       7,
+		Var:        "temperature",
+		Box:        geometry.Box3D(0, 16, 32, 64, 80, 96),
+		Version:    12,
+		Data:       []byte{1, 2, 3, 4, 5},
+		Key:        "temperature@[(0,16,32)-(64,80,96))",
+		Stripe:     types.StripeID{Group: 3, Seq: 41},
+		ShardIndex: 2,
+		K:          3, M: 1, ShardSize: 2,
+		Meta: &types.ObjectMeta{
+			ID:         types.ObjectID{Var: "temperature", Box: geometry.Box3D(0, 16, 32, 64, 80, 96)},
+			Version:    12,
+			Size:       5,
+			State:      types.StateEncoded,
+			Primary:    4,
+			Replicas:   []types.ServerID{5, 6},
+			Stripe:     types.StripeID{Group: 3, Seq: 41},
+			ShardIndex: 2,
+		},
+		Metas: []types.ObjectMeta{
+			{ID: types.ObjectID{Var: "p", Box: geometry.Box3D(0, 0, 0, 2, 2, 2)}, Primary: 1},
+			{ID: types.ObjectID{Var: "q", Box: geometry.Box3D(2, 2, 2, 4, 4, 4)}, Primary: 2, State: types.StateReplicated},
+		},
+		StripeInfo: &types.StripeInfo{
+			ID: types.StripeID{Group: 3, Seq: 41},
+			K:  3, M: 1, ShardSize: 2,
+			Members: []types.StripeMember{
+				{Server: 0, Index: 0, ObjectKey: "a"},
+				{Server: 1, Index: 1, ObjectKey: "b"},
+				{Server: 2, Index: 2, ObjectKey: "c"},
+				{Server: 3, Index: 3},
+			},
+		},
+		Flag: true,
+		Num:  -99,
+		Err:  "sample error",
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	m := sampleMessage()
+	got, err := Decode(Encode(m, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, m)
+	}
+}
+
+func TestEncodeDecodeZeroMessage(t *testing.T) {
+	m := &Message{}
+	got, err := Decode(Encode(m, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(m, got) {
+		t.Fatalf("zero message mismatch: %+v", got)
+	}
+}
+
+func TestDecodeRejectsUnknownKind(t *testing.T) {
+	buf := Encode(&Message{}, nil)
+	buf[0] = 200
+	if _, err := Decode(buf); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestDecodeRejectsTruncation(t *testing.T) {
+	buf := Encode(sampleMessage(), nil)
+	for _, cut := range []int{1, 5, len(buf) / 2, len(buf) - 1} {
+		if _, err := Decode(buf[:cut]); err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+	}
+}
+
+func TestDecodeRejectsTrailingGarbage(t *testing.T) {
+	buf := Encode(&Message{Kind: MsgPing}, nil)
+	buf = append(buf, 0xAB)
+	if _, err := Decode(buf); err == nil {
+		t.Fatal("trailing garbage accepted")
+	}
+}
+
+func TestEncodeDecodePropertyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	f := func() bool {
+		m := &Message{
+			Kind:    Kind(rng.Intn(int(kindCount))),
+			From:    types.ServerID(rng.Intn(64) - 2),
+			Var:     randString(rng, 12),
+			Version: types.Version(rng.Int63n(1000)),
+			Key:     randString(rng, 30),
+			Num:     rng.Int63() - (1 << 62),
+			Flag:    rng.Intn(2) == 0,
+			Err:     randString(rng, 20),
+		}
+		if rng.Intn(2) == 0 {
+			dims := 1 + rng.Intn(4)
+			lo := make([]int64, dims)
+			hi := make([]int64, dims)
+			for d := range lo {
+				lo[d] = int64(rng.Intn(100))
+				hi[d] = lo[d] + 1 + int64(rng.Intn(100))
+			}
+			m.Box = geometry.Box{Lo: lo, Hi: hi}
+		}
+		if n := rng.Intn(64); n > 0 {
+			m.Data = make([]byte, n)
+			rng.Read(m.Data)
+		}
+		got, err := Decode(Encode(m, nil))
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(m, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func randString(rng *rand.Rand, maxLen int) string {
+	n := rng.Intn(maxLen)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte('a' + rng.Intn(26))
+	}
+	return string(b)
+}
+
+func TestWireSizeDominatedByData(t *testing.T) {
+	small := (&Message{Kind: MsgPut}).WireSize()
+	big := (&Message{Kind: MsgPut, Data: make([]byte, 1<<20)}).WireSize()
+	if big-small != 1<<20 {
+		t.Fatalf("WireSize delta = %d, want payload size", big-small)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if MsgPut.String() != "Put" || MsgTokenAcquire.String() != "TokenAcquire" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(250).String() == "" {
+		t.Fatal("unknown kind string empty")
+	}
+	if int(kindCount) != len(kindNames) {
+		t.Fatalf("kindNames has %d entries for %d kinds", len(kindNames), kindCount)
+	}
+}
+
+func TestErrfAndAsError(t *testing.T) {
+	resp := Errf("boom %d", 7)
+	if resp.Kind != MsgErr || resp.Err != "boom 7" {
+		t.Fatalf("Errf = %+v", resp)
+	}
+	if resp.AsError() == nil || resp.AsError().Error() != "boom 7" {
+		t.Fatal("AsError lost the message")
+	}
+	if Ok().AsError() != nil {
+		t.Fatal("Ok has an error")
+	}
+	var nilMsg *Message
+	if nilMsg.AsError() != nil {
+		t.Fatal("nil message has an error")
+	}
+}

@@ -1,0 +1,201 @@
+package corec
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"corec/internal/recovery"
+	"corec/internal/transport"
+	"corec/internal/types"
+)
+
+// Monitor is the cluster's System Status Monitor (Figure 7 of the paper):
+// it heartbeats every staging server, detects fail-stop crashes, and —
+// when auto-recovery is enabled — starts a replacement server and drives
+// the configured recovery scheme, exactly as an operator (or the harness's
+// scripted scheduler) would by hand.
+type Monitor struct {
+	cluster *Cluster
+	cfg     MonitorConfig
+
+	mu       sync.Mutex
+	suspects map[types.ServerID]int
+	dead     map[types.ServerID]bool
+	events   []MonitorEvent
+	cancel   context.CancelFunc
+	done     chan struct{}
+}
+
+// MonitorConfig tunes detection and reaction.
+type MonitorConfig struct {
+	// Interval between heartbeat rounds. Default 50ms.
+	Interval time.Duration
+	// SuspectThreshold is how many consecutive missed heartbeats declare a
+	// server dead. Default 2.
+	SuspectThreshold int
+	// AutoRecover, when set, replaces dead servers and runs recovery in
+	// the configured RecoveryMode automatically.
+	AutoRecover bool
+	// OnEvent, when non-nil, receives detection/recovery events.
+	OnEvent func(MonitorEvent)
+}
+
+// MonitorEventKind enumerates monitor events.
+type MonitorEventKind int
+
+// Monitor event kinds.
+const (
+	// EventFailureDetected fires when a server is declared dead.
+	EventFailureDetected MonitorEventKind = iota
+	// EventRecoveryStarted fires when a replacement joins.
+	EventRecoveryStarted
+	// EventRecoveryFinished fires when the replacement's repair completes.
+	EventRecoveryFinished
+)
+
+// String implements fmt.Stringer.
+func (k MonitorEventKind) String() string {
+	switch k {
+	case EventRecoveryStarted:
+		return "recovery-started"
+	case EventRecoveryFinished:
+		return "recovery-finished"
+	default:
+		return "failure-detected"
+	}
+}
+
+// MonitorEvent records one detection or recovery action.
+type MonitorEvent struct {
+	Kind     MonitorEventKind
+	Server   ServerID
+	Time     time.Time
+	Repaired int // objects repaired (EventRecoveryFinished only)
+}
+
+// StartMonitor begins heartbeating. Stop it with Monitor.Stop; it also
+// stops when the cluster closes its last server (heartbeats simply find
+// nothing to probe).
+func (c *Cluster) StartMonitor(cfg MonitorConfig) *Monitor {
+	if cfg.Interval <= 0 {
+		cfg.Interval = 50 * time.Millisecond
+	}
+	if cfg.SuspectThreshold <= 0 {
+		cfg.SuspectThreshold = 2
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Monitor{
+		cluster:  c,
+		cfg:      cfg,
+		suspects: make(map[types.ServerID]int),
+		dead:     make(map[types.ServerID]bool),
+		cancel:   cancel,
+		done:     make(chan struct{}),
+	}
+	go m.run(ctx)
+	return m
+}
+
+// Stop terminates the heartbeat loop and waits for it to exit.
+func (m *Monitor) Stop() {
+	m.cancel()
+	<-m.done
+}
+
+// Events returns a copy of the recorded events.
+func (m *Monitor) Events() []MonitorEvent {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]MonitorEvent(nil), m.events...)
+}
+
+// Dead returns the servers currently believed dead.
+func (m *Monitor) Dead() []ServerID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]ServerID, 0, len(m.dead))
+	for id := range m.dead {
+		out = append(out, ServerID(id))
+	}
+	return out
+}
+
+func (m *Monitor) run(ctx context.Context) {
+	defer close(m.done)
+	ticker := time.NewTicker(m.cfg.Interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+			m.probeAll(ctx)
+		}
+	}
+}
+
+func (m *Monitor) probeAll(ctx context.Context) {
+	c := m.cluster
+	for i := 0; i < c.cfg.Servers; i++ {
+		id := types.ServerID(i)
+		probeCtx, cancel := context.WithTimeout(ctx, m.cfg.Interval)
+		resp, err := c.net.Send(probeCtx, -1, id, &transport.Message{Kind: transport.MsgPing})
+		cancel()
+		alive := err == nil && resp.Kind == transport.MsgOK
+		m.mu.Lock()
+		if alive {
+			m.suspects[id] = 0
+			if m.dead[id] {
+				// A replacement joined outside the monitor (manual
+				// Replace); clear the record.
+				delete(m.dead, id)
+			}
+			m.mu.Unlock()
+			continue
+		}
+		if m.dead[id] {
+			m.mu.Unlock()
+			continue
+		}
+		m.suspects[id]++
+		declared := m.suspects[id] >= m.cfg.SuspectThreshold
+		if declared {
+			m.dead[id] = true
+		}
+		m.mu.Unlock()
+		if declared {
+			m.emit(MonitorEvent{Kind: EventFailureDetected, Server: ServerID(id), Time: time.Now()})
+			if m.cfg.AutoRecover {
+				go m.recover(ctx, id)
+			}
+		}
+	}
+}
+
+func (m *Monitor) recover(ctx context.Context, id types.ServerID) {
+	srv, err := m.cluster.Replace(ServerID(id))
+	if err != nil {
+		return
+	}
+	m.emit(MonitorEvent{Kind: EventRecoveryStarted, Server: ServerID(id), Time: time.Now()})
+	mode := recovery.Lazy
+	if m.cluster.cfg.RecoveryMode == RecoveryAggressive {
+		mode = recovery.Aggressive
+	}
+	repaired, _ := srv.RunRecovery(ctx, mode)
+	m.mu.Lock()
+	delete(m.dead, id)
+	m.suspects[id] = 0
+	m.mu.Unlock()
+	m.emit(MonitorEvent{Kind: EventRecoveryFinished, Server: ServerID(id), Time: time.Now(), Repaired: repaired})
+}
+
+func (m *Monitor) emit(ev MonitorEvent) {
+	m.mu.Lock()
+	m.events = append(m.events, ev)
+	m.mu.Unlock()
+	if m.cfg.OnEvent != nil {
+		m.cfg.OnEvent(ev)
+	}
+}

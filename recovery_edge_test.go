@@ -1,0 +1,150 @@
+package corec
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"corec/internal/recovery"
+)
+
+// stageSet populates n objects and cools them into a mixed state.
+func stageSet(t *testing.T, c *Cluster, n int) ([]Box, map[int][]byte) {
+	t.Helper()
+	cl := c.NewClient()
+	ctx := context.Background()
+	boxes := make([]Box, n)
+	payloads := make(map[int][]byte, n)
+	for i := 0; i < n; i++ {
+		boxes[i] = Box3D(int64(i)*8, 0, 0, int64(i)*8+8, 8, 8)
+		data := regionData(t, boxes[i], 8, int64(5000+i))
+		if err := cl.Put(ctx, "edge", boxes[i], 1, data); err != nil {
+			t.Fatal(err)
+		}
+		payloads[i] = data
+	}
+	for ts := Version(2); ts <= 4; ts++ {
+		c.EndTimeStep(ts)
+	}
+	return boxes, payloads
+}
+
+func verifySet(t *testing.T, c *Cluster, boxes []Box, payloads map[int][]byte, when string) {
+	t.Helper()
+	cl := c.NewClient()
+	ctx := context.Background()
+	for i, b := range boxes {
+		got, err := cl.Get(ctx, "edge", b, 1)
+		if err != nil {
+			t.Fatalf("%s: object %d unreadable: %v", when, i, err)
+		}
+		if !bytes.Equal(got, payloads[i]) {
+			t.Fatalf("%s: object %d corrupted", when, i)
+		}
+	}
+}
+
+// TestSequentialFailuresWithRecoveryBetween cycles through several
+// fail->recover rounds hitting different servers; data must survive every
+// round even though each round's recovery rebuilds from the previous
+// round's survivors.
+func TestSequentialFailuresWithRecoveryBetween(t *testing.T) {
+	c := testCluster(t, PolicyCoREC)
+	boxes, payloads := stageSet(t, c, 16)
+	ctx := context.Background()
+	for round, victim := range []ServerID{0, 3, 6, 1} {
+		c.Kill(victim)
+		verifySet(t, c, boxes, payloads, "degraded round")
+		srv, err := c.Replace(victim)
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if _, err := srv.RunRecovery(ctx, recovery.Aggressive); err != nil {
+			t.Fatalf("round %d: recovery: %v", round, err)
+		}
+		verifySet(t, c, boxes, payloads, "post-recovery round")
+	}
+}
+
+// TestFailureDuringRecovery kills a second server (in a different group)
+// while the first replacement is still draining its lazy repair queue; the
+// system stays within the grouped-placement tolerance throughout.
+func TestFailureDuringRecovery(t *testing.T) {
+	cfg := DefaultConfig(8)
+	cfg.Mode = PolicyCoREC
+	cfg.MTBF = 2 * time.Second // deadline 500ms: recovery takes a while
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	boxes, payloads := stageSet(t, c, 16)
+	ctx := context.Background()
+
+	// First failure: server 1 (groups {0,1} and {0..3}).
+	c.Kill(1)
+	srv, err := c.Replace(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := srv.RunRecovery(ctx, recovery.Lazy)
+		done <- err
+	}()
+
+	// Second failure in the other half of the ring while recovery runs.
+	time.Sleep(20 * time.Millisecond)
+	c.Kill(5)
+	verifySet(t, c, boxes, payloads, "during-recovery double failure")
+
+	if err := <-done; err != nil {
+		t.Fatalf("first recovery: %v", err)
+	}
+	// Recover the second victim too and verify clean state.
+	srv2, err := c.Replace(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv2.RunRecovery(ctx, recovery.Aggressive); err != nil {
+		t.Fatal(err)
+	}
+	verifySet(t, c, boxes, payloads, "after both recoveries")
+}
+
+// TestKillReplacementMidRecovery kills the replacement itself mid-drain; a
+// second replacement must complete the repair from scratch.
+func TestKillReplacementMidRecovery(t *testing.T) {
+	cfg := DefaultConfig(8)
+	cfg.Mode = PolicyErasure
+	cfg.MTBF = 4 * time.Second // slow lazy drain so the kill lands mid-way
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	boxes, payloads := stageSet(t, c, 16)
+	ctx := context.Background()
+
+	victim := ServerID(2)
+	c.Kill(victim)
+	srv, err := c.Replace(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.RunRecovery(ctx, recovery.Lazy) //nolint:errcheck // killed below
+	time.Sleep(20 * time.Millisecond)
+	c.Kill(victim) // the replacement dies mid-drain
+
+	verifySet(t, c, boxes, payloads, "after replacement died")
+
+	srv2, err := c.Replace(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv2.RunRecovery(ctx, recovery.Aggressive); err != nil {
+		t.Fatal(err)
+	}
+	verifySet(t, c, boxes, payloads, "after second replacement")
+}

@@ -1,0 +1,98 @@
+package corec
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"testing"
+)
+
+// TestRandomOpsAgainstReferenceModel drives a CoREC cluster with a long
+// random sequence of puts, gets, step boundaries and within-tolerance
+// failure/recovery cycles, checking every read against a plain in-memory
+// reference model (the "obviously correct" map). This is the linearized
+// single-client correctness property: whatever the resilience machinery
+// does underneath — replication, demotion, promotion, degraded reads,
+// repairs — a read must always return the reference bytes.
+func TestRandomOpsAgainstReferenceModel(t *testing.T) {
+	for _, mode := range []Mode{PolicyReplicate, PolicyErasure, PolicyCoREC} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			cfg := DefaultConfig(8)
+			cfg.Mode = mode
+			cluster, err := NewCluster(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer cluster.Close()
+			client := cluster.NewClient()
+			ctx := context.Background()
+			rng := rand.New(rand.NewSource(424242))
+
+			const objects = 12
+			boxFor := func(i int) Box {
+				return Box3D(int64(i)*8, 0, 0, int64(i)*8+8, 8, 8)
+			}
+			reference := make(map[int][]byte)
+			ts := Version(1)
+			var dead ServerID = -1
+
+			for op := 0; op < 300; op++ {
+				switch choice := rng.Intn(10); {
+				case choice < 4: // put
+					i := rng.Intn(objects)
+					b := boxFor(i)
+					if dead >= 0 && cluster.place.Primary(ObjectID{Var: "ref", Box: b}) == dead {
+						continue // primary down: the system rejects the write
+					}
+					data := make([]byte, int(b.Volume())*8)
+					rng.Read(data)
+					if err := client.Put(ctx, "ref", b, ts, data); err != nil {
+						t.Fatalf("op %d: put obj %d: %v", op, i, err)
+					}
+					reference[i] = data
+				case choice < 8: // get
+					i := rng.Intn(objects)
+					want, ok := reference[i]
+					if !ok {
+						continue
+					}
+					got, err := client.Get(ctx, "ref", boxFor(i), ts)
+					if err != nil {
+						t.Fatalf("op %d: get obj %d (ts %d, dead %d): %v", op, i, ts, dead, err)
+					}
+					if !bytes.Equal(got, want) {
+						t.Fatalf("op %d: obj %d diverged from reference", op, i)
+					}
+				case choice == 8: // step boundary
+					cluster.EndTimeStep(ts)
+					ts++
+				default: // failure / recovery toggle (within tolerance)
+					if dead < 0 {
+						dead = ServerID(rng.Intn(8))
+						cluster.Kill(dead)
+					} else {
+						srv, err := cluster.Replace(dead)
+						if err != nil {
+							t.Fatalf("op %d: replace: %v", op, err)
+						}
+						if _, err := srv.RunRecovery(ctx, RecoveryAggressive); err != nil {
+							t.Fatalf("op %d: recovery: %v", op, err)
+						}
+						dead = -1
+					}
+				}
+			}
+			// Final sweep: every object matches the reference.
+			for i, want := range reference {
+				got, err := client.Get(ctx, "ref", boxFor(i), ts)
+				if err != nil {
+					t.Fatalf("final get obj %d: %v", i, err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("final: obj %d diverged", i)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,71 @@
+package corec
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	"corec/internal/server"
+	"corec/internal/transport"
+	"corec/internal/types"
+)
+
+// ServerStatus is one staging server's self-reported status (see
+// server.Stats); Alive is false for unreachable servers, with zeroed
+// counters.
+type ServerStatus struct {
+	ID    ServerID
+	Alive bool
+	Stats server.Stats
+}
+
+// Status polls every staging server for its status report. Works over any
+// transport, including remote clusters — the admin view corec-cli exposes.
+func (cl *Client) Status(ctx context.Context) []ServerStatus {
+	c := cl.cluster
+	out := make([]ServerStatus, c.cfg.Servers)
+	for i := 0; i < c.cfg.Servers; i++ {
+		id := types.ServerID(i)
+		out[i].ID = ServerID(i)
+		resp, err := c.net.Send(ctx, cl.id, id, &transport.Message{Kind: transport.MsgStats})
+		if err != nil || resp.Kind != transport.MsgOK {
+			continue
+		}
+		if json.Unmarshal(resp.Data, &out[i].Stats) == nil {
+			out[i].Alive = true
+		}
+	}
+	return out
+}
+
+// WaitForVersion blocks until at least one object of the variable
+// intersecting box reaches the given version (or ctx expires) — the
+// coupling primitive an analysis rank uses to consume a simulation's
+// time steps as they are staged. Returns the matching metadata.
+func (cl *Client) WaitForVersion(ctx context.Context, name string, box Box, version Version) ([]types.ObjectMeta, error) {
+	backoff := 200 * time.Microsecond
+	const maxBackoff = 20 * time.Millisecond
+	for {
+		metas, err := cl.queryDirectory(ctx, name, box)
+		if err == nil {
+			var ready []types.ObjectMeta
+			for _, m := range metas {
+				if m.Version >= version {
+					ready = append(ready, m)
+				}
+			}
+			if len(ready) > 0 {
+				return ready, nil
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("corec: waiting for %s v%d: %w", name, version, ctx.Err())
+		case <-time.After(backoff):
+		}
+		if backoff < maxBackoff {
+			backoff *= 2
+		}
+	}
+}

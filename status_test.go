@@ -1,0 +1,112 @@
+package corec
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStatusReportsAllServers(t *testing.T) {
+	c := testCluster(t, PolicyCoREC)
+	cl := c.NewClient()
+	ctx := context.Background()
+	box := Box3D(0, 0, 0, 8, 8, 8)
+	if err := cl.Put(ctx, "v", box, 1, regionData(t, box, 8, 1)); err != nil {
+		t.Fatal(err)
+	}
+	c.EndTimeStep(1)
+	statuses := cl.Status(ctx)
+	if len(statuses) != 8 {
+		t.Fatalf("got %d statuses", len(statuses))
+	}
+	var totalDir, totalBytes int
+	for _, s := range statuses {
+		if !s.Alive {
+			t.Fatalf("server %d reported dead", s.ID)
+		}
+		totalDir += s.Stats.DirEntries
+		totalBytes += int(s.Stats.ObjectBytes + s.Stats.ReplicaBytes + s.Stats.ShardBytes)
+	}
+	if totalDir == 0 {
+		t.Fatal("no directory entries visible in status")
+	}
+	if totalBytes == 0 {
+		t.Fatal("no stored bytes visible in status")
+	}
+	// Kill one server: its status flips to dead.
+	c.Kill(3)
+	statuses = cl.Status(ctx)
+	if statuses[3].Alive {
+		t.Fatal("dead server reported alive")
+	}
+	alive := 0
+	for _, s := range statuses {
+		if s.Alive {
+			alive++
+		}
+	}
+	if alive != 7 {
+		t.Fatalf("%d alive, want 7", alive)
+	}
+}
+
+func TestWaitForVersionCouplesWriterAndReader(t *testing.T) {
+	c := testCluster(t, PolicyReplicate)
+	ctx := context.Background()
+	box := Box3D(0, 0, 0, 8, 8, 8)
+	data := regionData(t, box, 8, 7)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		time.Sleep(20 * time.Millisecond) // simulation lags the analysis
+		writer := c.NewClient()
+		writer.Put(ctx, "coupled", box, 5, data) //nolint:errcheck
+	}()
+
+	reader := c.NewClient()
+	waitCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	metas, err := reader.WaitForVersion(waitCtx, "coupled", box, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(metas) == 0 || metas[0].Version < 5 {
+		t.Fatalf("WaitForVersion returned %+v", metas)
+	}
+	wg.Wait()
+	got, err := reader.Get(ctx, "coupled", box, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(data) {
+		t.Fatal("coupled read wrong size")
+	}
+}
+
+func TestWaitForVersionTimesOut(t *testing.T) {
+	c := testCluster(t, PolicyNone)
+	cl := c.NewClient()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	if _, err := cl.WaitForVersion(ctx, "never", Box3D(0, 0, 0, 2, 2, 2), 1); err == nil {
+		t.Fatal("wait for absent data did not time out")
+	}
+}
+
+func TestWaitForVersionIgnoresOlderVersions(t *testing.T) {
+	c := testCluster(t, PolicyNone)
+	cl := c.NewClient()
+	ctx := context.Background()
+	box := Box3D(0, 0, 0, 4, 4, 4)
+	if err := cl.Put(ctx, "v", box, 2, regionData(t, box, 8, 2)); err != nil {
+		t.Fatal(err)
+	}
+	waitCtx, cancel := context.WithTimeout(ctx, 30*time.Millisecond)
+	defer cancel()
+	if _, err := cl.WaitForVersion(waitCtx, "v", box, 3); err == nil {
+		t.Fatal("older version satisfied a newer wait")
+	}
+}

@@ -1,0 +1,108 @@
+package corec
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// TestTCPClusterEndToEnd runs a full staging cluster over real TCP
+// listeners (the corec-server deployment path) and exercises put/get,
+// failure and degraded reads across the loopback fabric.
+func TestTCPClusterEndToEnd(t *testing.T) {
+	cfg := DefaultConfig(8)
+	cfg.Transport = "tcp"
+	cluster, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	addrs := cluster.ServerAddrs()
+	if len(addrs) != 8 {
+		t.Fatalf("got %d server addresses, want 8", len(addrs))
+	}
+
+	client := cluster.NewClient()
+	ctx := context.Background()
+	box := Box3D(0, 0, 0, 8, 8, 8)
+	data := regionData(t, box, 8, 71)
+	if err := client.Put(ctx, "temp", box, 1, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.Get(ctx, "temp", box, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("TCP round trip corrupted data")
+	}
+
+	// Kill the primary over TCP and read through the degraded path.
+	metas, err := client.Query(ctx, "temp", box)
+	if err != nil || len(metas) != 1 {
+		t.Fatalf("query: %v (%d metas)", err, len(metas))
+	}
+	cluster.Kill(metas[0].Primary)
+	got, err = client.Get(ctx, "temp", box, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("TCP degraded read corrupted data")
+	}
+}
+
+// TestRemoteClusterClient connects a separate client-side fabric to a
+// TCP-hosted service via its address map — the corec-cli path, covering
+// cross-process access without a second process.
+func TestRemoteClusterClient(t *testing.T) {
+	cfg := DefaultConfig(8)
+	cfg.Transport = "tcp"
+	host, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer host.Close()
+
+	remoteCfg := DefaultConfig(8)
+	remoteCfg.ElemSize = 1
+	remote, err := NewRemoteCluster(remoteCfg, host.ServerAddrs())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer remote.Close()
+
+	client := remote.NewClient()
+	ctx := context.Background()
+	payload := []byte("hello staging over tcp")
+	box := Box{Lo: []int64{100}, Hi: []int64{100 + int64(len(payload))}}
+	if err := client.Put(ctx, "demo", box, 1, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.Get(ctx, "demo", box, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("remote round trip = %q", got)
+	}
+	metas, err := client.Query(ctx, "demo", Box{})
+	if err != nil || len(metas) != 1 {
+		t.Fatalf("remote query: %v (%d metas)", err, len(metas))
+	}
+}
+
+func TestRemoteClusterValidation(t *testing.T) {
+	if _, err := NewRemoteCluster(Config{}, nil); err == nil {
+		t.Fatal("empty address map accepted")
+	}
+}
+
+func TestUnknownTransportRejected(t *testing.T) {
+	cfg := DefaultConfig(8)
+	cfg.Transport = "carrier-pigeon"
+	if _, err := NewCluster(cfg); err == nil {
+		t.Fatal("unknown transport accepted")
+	}
+}

@@ -1,0 +1,30 @@
+GO ?= go
+
+.PHONY: all build vet test race short bench ci clean
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-enabled run of the fast suite; the chaos/stochastic tests skip
+# themselves under -short.
+race:
+	$(GO) test -race -short ./...
+
+short:
+	$(GO) test -short ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+
+ci: vet build race test
+
+clean:
+	$(GO) clean ./...

@@ -45,6 +45,27 @@ func (c *Cluster) NewClient() *Client {
 	}
 }
 
+// send delivers one RPC under the cluster's retry policy — per-attempt
+// timeouts, capped exponential backoff with jitter — tallying retry and
+// fault counters. All protocol requests are idempotent, so resending on a
+// transient fabric failure is safe.
+func (cl *Client) send(ctx context.Context, to types.ServerID, msg *transport.Message) (*transport.Message, error) {
+	c := cl.cluster
+	resp, attempts, err := c.retry.Send(ctx, c.net, cl.id, to, msg)
+	if attempts > 1 {
+		cl.col.AddCounter(metrics.RetryCount, int64(attempts-1))
+	}
+	if err != nil {
+		if errors.Is(err, transport.ErrCorruptFrame) || errors.Is(err, transport.ErrRemoteRetryable) {
+			cl.col.AddCounter(metrics.CorruptFrameCount, 1)
+		}
+		if transport.IsRetryable(err) {
+			cl.col.AddCounter(metrics.FaultCount, 1)
+		}
+	}
+	return resp, err
+}
+
 // Put stages the region's data under the variable name at the given
 // version (time step). The buffer must be a row-major array over box with
 // the cluster's element size. Oversized regions are geometrically
@@ -67,24 +88,25 @@ func (cl *Client) Put(ctx context.Context, name string, box Box, version Version
 	if len(pieces) == 1 {
 		return cl.putObject(ctx, name, box, version, data)
 	}
+	// Stage the pieces in parallel and report every failure, not just the
+	// first: a multi-piece put is one logical write, and the caller needs
+	// to know the full set of regions that did not commit.
 	var wg sync.WaitGroup
-	errCh := make(chan error, len(pieces))
-	for _, piece := range pieces {
+	errs := make([]error, len(pieces))
+	for i, piece := range pieces {
 		buf := make([]byte, ndarray.BufferSize(piece, elem))
 		if _, err := ndarray.CopyRegion(box, data, piece, buf, elem); err != nil {
-			return err
+			errs[i] = err
+			continue
 		}
 		wg.Add(1)
-		go func(piece Box, buf []byte) {
+		go func(i int, piece Box, buf []byte) {
 			defer wg.Done()
-			if err := cl.putObject(ctx, name, piece, version, buf); err != nil {
-				errCh <- err
-			}
-		}(piece, buf)
+			errs[i] = cl.putObject(ctx, name, piece, version, buf)
+		}(i, piece, buf)
 	}
 	wg.Wait()
-	close(errCh)
-	return <-errCh
+	return errors.Join(errs...)
 }
 
 func (cl *Client) putObject(ctx context.Context, name string, box Box, version Version, data []byte) error {
@@ -98,11 +120,31 @@ func (cl *Client) putObject(ctx context.Context, name string, box Box, version V
 		Version: version,
 		Data:    data,
 	}
-	resp, err := c.net.Send(ctx, cl.id, primary, msg)
-	if err != nil {
+	resp, err := cl.send(ctx, primary, msg)
+	if err == nil {
+		return resp.AsError()
+	}
+	if c.groups == nil || ctx.Err() != nil || !transport.IsRetryable(err) {
 		return fmt.Errorf("corec: put %s: %w", id, err)
 	}
-	return resp.AsError()
+	// Write-path failover: the placed primary stayed unreachable through
+	// the whole retry budget, so hand the write to its replication-group
+	// successor. The successor's put path makes it the new primary (the
+	// directory flips, the original primary becomes a listed replica), so
+	// the object keeps its full resilience level; the reroute is logged so
+	// the monitor reconciles ownership once the original recovers.
+	for _, alt := range c.groups.ReplicaTargets(primary, c.cfg.NLevel) {
+		resp, ferr := cl.send(ctx, alt, msg)
+		if ferr != nil {
+			continue
+		}
+		if aerr := resp.AsError(); aerr != nil {
+			return aerr
+		}
+		c.recordReroute(Reroute{Key: id.Key(), From: primary, To: alt, Version: version})
+		return nil
+	}
+	return fmt.Errorf("corec: put %s: %w", id, err)
 }
 
 // Get reads the region of the variable at the given version, returning a
@@ -165,7 +207,6 @@ func (cl *Client) Query(ctx context.Context, name string, box Box) ([]types.Obje
 // released. Returns the number of objects evicted. Applications call this
 // once a time step's data has been consumed, to bound staging memory.
 func (cl *Client) Delete(ctx context.Context, name string, box Box) (int, error) {
-	c := cl.cluster
 	metas, err := cl.queryDirectory(ctx, name, box)
 	if err != nil {
 		return 0, err
@@ -176,7 +217,7 @@ func (cl *Client) Delete(ctx context.Context, name string, box Box) (int, error)
 		if box.Valid() && !m.ID.Box.Intersects(box) {
 			continue
 		}
-		resp, err := c.net.Send(ctx, cl.id, m.Primary, &transport.Message{
+		resp, err := cl.send(ctx, m.Primary, &transport.Message{
 			Kind: transport.MsgDelete, Key: m.ID.Key(),
 		})
 		if err != nil {
@@ -211,7 +252,7 @@ func (cl *Client) queryDirectory(ctx context.Context, name string, box Box) ([]t
 	for i := 0; i < n; i++ {
 		go func(target types.ServerID) {
 			msg := &transport.Message{Kind: transport.MsgMetaQuery, Var: name, Box: box}
-			resp, err := c.net.Send(ctx, cl.id, target, msg)
+			resp, err := cl.send(ctx, target, msg)
 			if err != nil {
 				results <- result{err: err}
 				return
@@ -293,7 +334,7 @@ func (cl *Client) lookupMeta(ctx context.Context, key string) (*types.ObjectMeta
 	defer func() { cl.col.Add(metrics.Metadata, time.Since(start)) }()
 	group := placement.DirectoryGroup(c.place.DirectoryShard(key), c.cfg.Servers, c.cfg.NLevel)
 	for _, t := range group {
-		resp, err := c.net.Send(ctx, cl.id, t, &transport.Message{Kind: transport.MsgMetaLookup, Key: key})
+		resp, err := cl.send(ctx, t, &transport.Message{Kind: transport.MsgMetaLookup, Key: key})
 		if err == nil && resp.Kind == transport.MsgOK && resp.Flag {
 			return resp.Meta, true
 		}
@@ -302,10 +343,9 @@ func (cl *Client) lookupMeta(ctx context.Context, key string) (*types.ObjectMeta
 }
 
 func (cl *Client) fetchReplicated(ctx context.Context, meta *types.ObjectMeta) ([]byte, error) {
-	c := cl.cluster
 	key := meta.ID.Key()
 	for _, target := range meta.Locations() {
-		resp, err := c.net.Send(ctx, cl.id, target, &transport.Message{Kind: transport.MsgGet, Key: key})
+		resp, err := cl.send(ctx, target, &transport.Message{Kind: transport.MsgGet, Key: key})
 		if err != nil || resp.Kind != transport.MsgGetBytes || !resp.Flag {
 			continue
 		}
@@ -382,7 +422,7 @@ func (cl *Client) lookupStripe(ctx context.Context, id types.StripeID) (*types.S
 	key := id.String()
 	group := placement.DirectoryGroup(c.place.DirectoryShard(key), c.cfg.Servers, c.cfg.NLevel)
 	for _, t := range group {
-		resp, err := c.net.Send(ctx, cl.id, t, &transport.Message{Kind: transport.MsgStripeLookup, Stripe: id})
+		resp, err := cl.send(ctx, t, &transport.Message{Kind: transport.MsgStripeLookup, Stripe: id})
 		if err == nil && resp.Kind == transport.MsgOK && resp.Flag {
 			return resp.StripeInfo, true
 		}
@@ -391,7 +431,7 @@ func (cl *Client) lookupStripe(ctx context.Context, id types.StripeID) (*types.S
 }
 
 func (cl *Client) fetchShard(ctx context.Context, id types.StripeID, member types.StripeMember) ([]byte, bool) {
-	resp, err := cl.cluster.net.Send(ctx, cl.id, member.Server, &transport.Message{
+	resp, err := cl.send(ctx, member.Server, &transport.Message{
 		Kind: transport.MsgShardGet, Stripe: id, ShardIndex: member.Index,
 	})
 	if err != nil || resp.Kind != transport.MsgGetBytes || !resp.Flag {

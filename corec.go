@@ -28,6 +28,7 @@ import (
 
 	"corec/internal/classifier"
 	"corec/internal/erasure"
+	"corec/internal/failure"
 	"corec/internal/geometry"
 	"corec/internal/metrics"
 	"corec/internal/placement"
@@ -132,6 +133,16 @@ type Config struct {
 	Classifier classifier.Config
 	// Seed drives the hybrid policy's randomness.
 	Seed int64
+	// Retry governs client-side RPC resends; nil uses
+	// transport.DefaultRetryPolicy(). Set MaxAttempts to 1 to disable
+	// retries entirely (the write path then surfaces fabric errors to the
+	// caller after a single failover attempt).
+	Retry *transport.RetryPolicy
+	// FaultPlan, when non-nil, wraps the fabric in a FaultyNetwork
+	// injecting the plan's seeded network faults. Experiments use it to mix
+	// message-level faults with node kills; production deployments leave it
+	// nil.
+	FaultPlan *failure.FaultPlan
 }
 
 // DefaultConfig returns a CoREC cluster configuration over n servers
@@ -188,6 +199,8 @@ func (c *Config) withDefaults() Config {
 type Cluster struct {
 	cfg     Config
 	net     transport.Network
+	faults  *transport.FaultyNetwork // non-nil when a FaultPlan wraps the fabric
+	retry   transport.RetryPolicy
 	top     *topology.Topology
 	groups  *topology.Groups
 	place   placement.Placement
@@ -196,6 +209,25 @@ type Cluster struct {
 	polCfg  policy.Config
 	mu      sync.Mutex
 	servers map[types.ServerID]*server.Server
+
+	// rerouteMu guards the write-failover log: puts rerouted away from an
+	// unreachable primary, pending reconciliation once it recovers.
+	rerouteMu sync.Mutex
+	reroutes  []Reroute
+}
+
+// Reroute records one write that failed over from its placed primary to a
+// replication-group successor. The monitor consumes these after the
+// original primary recovers, instructing it to reconcile ownership.
+type Reroute struct {
+	// Key identifies the rerouted object.
+	Key string
+	// From is the placed primary that was unreachable.
+	From ServerID
+	// To is the successor that accepted the write (the new primary).
+	To ServerID
+	// Version is the data version that was written.
+	Version Version
 }
 
 // NewCluster builds and starts an in-process staging cluster.
@@ -238,6 +270,14 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	default:
 		return nil, fmt.Errorf("corec: unknown transport %q", cfg.Transport)
 	}
+	var faults *transport.FaultyNetwork
+	if cfg.FaultPlan != nil {
+		if err := cfg.FaultPlan.Validate(); err != nil {
+			return nil, err
+		}
+		faults = transport.NewFaultyNetwork(net, cfg.FaultPlan)
+		net = faults
+	}
 	place := placement.NewHash(cfg.Servers)
 	col := metrics.NewCollector()
 	polCfg := policy.Config{
@@ -258,6 +298,8 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	c := &Cluster{
 		cfg:     cfg,
 		net:     net,
+		faults:  faults,
+		retry:   retryPolicy(cfg.Retry),
 		top:     top,
 		groups:  groups,
 		place:   place,
@@ -302,6 +344,70 @@ func (c *Cluster) startServer(id types.ServerID) (*server.Server, error) {
 	return srv, nil
 }
 
+// retryPolicy resolves a configured policy, defaulting when nil.
+func retryPolicy(p *transport.RetryPolicy) transport.RetryPolicy {
+	if p != nil {
+		return *p
+	}
+	return transport.DefaultRetryPolicy()
+}
+
+// tcpNet unwraps the fabric (through any fault injector) to the TCP
+// network, or nil when the cluster runs in-process.
+func (c *Cluster) tcpNet() *transport.TCPNetwork {
+	n := c.net
+	if f, ok := n.(*transport.FaultyNetwork); ok {
+		n = f.Inner()
+	}
+	tn, _ := n.(*transport.TCPNetwork)
+	return tn
+}
+
+// Faults returns the fault injector wrapping the fabric, or nil when the
+// cluster was built without a FaultPlan.
+func (c *Cluster) Faults() *transport.FaultyNetwork { return c.faults }
+
+// RetryPolicy returns the client-side retry policy in effect.
+func (c *Cluster) RetryPolicy() transport.RetryPolicy { return c.retry }
+
+func (c *Cluster) recordReroute(r Reroute) {
+	c.recordRerouteQuiet(r)
+	c.col.AddCounter(metrics.FailoverCount, 1)
+}
+
+// recordRerouteQuiet requeues a reroute without recounting the failover
+// (used when reconciliation must be deferred to a later recovery).
+func (c *Cluster) recordRerouteQuiet(r Reroute) {
+	c.rerouteMu.Lock()
+	c.reroutes = append(c.reroutes, r)
+	c.rerouteMu.Unlock()
+}
+
+// Reroutes returns a copy of the pending write-failover log.
+func (c *Cluster) Reroutes() []Reroute {
+	c.rerouteMu.Lock()
+	defer c.rerouteMu.Unlock()
+	return append([]Reroute(nil), c.reroutes...)
+}
+
+// takeReroutesFrom removes and returns the pending reroutes whose original
+// primary is the given server. The monitor calls this once the server has
+// recovered, to drive ownership reconciliation.
+func (c *Cluster) takeReroutesFrom(id ServerID) []Reroute {
+	c.rerouteMu.Lock()
+	defer c.rerouteMu.Unlock()
+	var taken, keep []Reroute
+	for _, r := range c.reroutes {
+		if r.From == id {
+			taken = append(taken, r)
+		} else {
+			keep = append(keep, r)
+		}
+	}
+	c.reroutes = keep
+	return taken
+}
+
 // Server returns the running server with the given ID (nil if failed).
 func (c *Cluster) Server(id ServerID) *server.Server {
 	c.mu.Lock()
@@ -343,8 +449,8 @@ func (c *Cluster) Alive(id ServerID) bool {
 // the cluster uses the TCP transport (empty otherwise). Used to hand a
 // remote-cluster client its address map.
 func (c *Cluster) ServerAddrs() map[ServerID]string {
-	tn, ok := c.net.(*transport.TCPNetwork)
-	if !ok {
+	tn := c.tcpNet()
+	if tn == nil {
 		return nil
 	}
 	out := make(map[ServerID]string)
@@ -384,9 +490,18 @@ func NewRemoteCluster(cfg Config, addrs map[ServerID]string) (*Cluster, error) {
 			return nil, err
 		}
 	}
+	// Group geometry lets the remote client fail writes over to the
+	// replication-group successor; skip it when the remote cluster's server
+	// count does not tile (failover then degrades to plain errors).
+	var groups *topology.Groups
+	if top, terr := topology.Uniform(cfg.Servers, 1); terr == nil {
+		groups, _ = topology.NewGroups(top, cfg.NLevel+1, cfg.DataShards+cfg.NLevel)
+	}
 	return &Cluster{
 		cfg:     cfg,
 		net:     net,
+		retry:   retryPolicy(cfg.Retry),
+		groups:  groups,
 		place:   placement.NewHash(cfg.Servers),
 		col:     metrics.NewCollector(),
 		codec:   codec,
@@ -436,6 +551,11 @@ func (c *Cluster) EndTimeStep(ts Version) (demoted, promoted int) {
 	// time includes it.
 	for _, s := range servers {
 		s.WaitEncodeIdle()
+	}
+	// The workflow has moved on: activate/expire step-windowed fault rules
+	// for the next time step.
+	if c.faults != nil {
+		c.faults.AdvanceStep(ts + 1)
 	}
 	return demoted, promoted
 }
@@ -516,7 +636,7 @@ func (c *Cluster) Close() {
 	for _, s := range servers {
 		s.Close()
 	}
-	if tn, ok := c.net.(*transport.TCPNetwork); ok {
+	if tn := c.tcpNet(); tn != nil {
 		tn.Close()
 	}
 }

@@ -1,0 +1,143 @@
+package failure
+
+import (
+	"fmt"
+	"time"
+
+	"corec/internal/types"
+)
+
+// This file defines the network half of the failure model: a FaultPlan
+// describes seeded, deterministic message-level faults (drops, duplicates,
+// corruption, extra latency/jitter, partitions) that the transport layer's
+// FaultyNetwork decorator injects. Scripted schedules mix node kills
+// (Schedule) with network faults by keying both to workflow time steps:
+// kills fire through Schedule.Advance, fault windows activate as the
+// cluster advances the plan's current step.
+
+// LinkFault injects message-level faults on matching links. A zero
+// From/To set matches every sender/receiver (clients have negative IDs, so
+// a rule listing only server IDs still applies to client traffic when the
+// other side matches). Probabilities are per message in [0,1].
+type LinkFault struct {
+	// From restricts the rule to messages sent by these servers; nil
+	// matches any sender.
+	From []types.ServerID
+	// To restricts the rule to messages addressed to these servers; nil
+	// matches any destination.
+	To []types.ServerID
+	// DropProb is the probability the message is lost in flight
+	// (surfacing as transport.ErrDropped to the sender).
+	DropProb float64
+	// DupProb is the probability the message is delivered twice.
+	DupProb float64
+	// CorruptProb is the probability the wire frame is corrupted in
+	// flight (caught by the CRC32 check, surfacing as ErrCorruptFrame).
+	CorruptProb float64
+	// ExtraLatency is added to every matching message.
+	ExtraLatency time.Duration
+	// Jitter adds a uniformly random extra delay in [0, Jitter).
+	Jitter time.Duration
+	// FromStep/ToStep bound the active window in workflow time steps,
+	// inclusive. FromStep 0 means active from the start; ToStep 0 means
+	// never expires.
+	FromStep, ToStep types.Version
+}
+
+// ActiveAt reports whether the rule applies at the given time step.
+func (f *LinkFault) ActiveAt(ts types.Version) bool {
+	if f.FromStep != 0 && ts < f.FromStep {
+		return false
+	}
+	if f.ToStep != 0 && ts > f.ToStep {
+		return false
+	}
+	return true
+}
+
+// Matches reports whether the rule covers a message from -> to.
+func (f *LinkFault) Matches(from, to types.ServerID) bool {
+	return idMatch(f.From, from) && idMatch(f.To, to)
+}
+
+// Partition blocks all traffic between server sets A and B, in both
+// directions, while active. Traffic within a set, and traffic involving
+// servers in neither set (including clients), is unaffected.
+type Partition struct {
+	A, B []types.ServerID
+	// FromStep/ToStep bound the active window, with the same semantics as
+	// LinkFault's.
+	FromStep, ToStep types.Version
+}
+
+// ActiveAt reports whether the partition is in effect at the time step.
+func (p *Partition) ActiveAt(ts types.Version) bool {
+	if p.FromStep != 0 && ts < p.FromStep {
+		return false
+	}
+	if p.ToStep != 0 && ts > p.ToStep {
+		return false
+	}
+	return true
+}
+
+// Blocks reports whether the partition severs the link from -> to.
+func (p *Partition) Blocks(from, to types.ServerID) bool {
+	return (contains(p.A, from) && contains(p.B, to)) ||
+		(contains(p.B, from) && contains(p.A, to))
+}
+
+// FaultPlan is a seeded, scripted schedule of network faults. The zero
+// value injects nothing. Plans are immutable once handed to a
+// FaultyNetwork; transient faults are expressed through step windows or
+// the network's manual partition API.
+type FaultPlan struct {
+	// Seed drives the fault decisions deterministically.
+	Seed int64
+	// Links are the message-level fault rules; every active matching rule
+	// applies (probabilities combine independently, delays add up).
+	Links []LinkFault
+	// Partitions are scripted bidirectional partitions.
+	Partitions []Partition
+}
+
+// Validate checks probability bounds and partition well-formedness.
+func (p *FaultPlan) Validate() error {
+	for i, l := range p.Links {
+		for _, prob := range []struct {
+			name string
+			v    float64
+		}{{"drop", l.DropProb}, {"dup", l.DupProb}, {"corrupt", l.CorruptProb}} {
+			if prob.v < 0 || prob.v > 1 {
+				return fmt.Errorf("failure: link rule %d: %s probability %g outside [0,1]", i, prob.name, prob.v)
+			}
+		}
+		if l.ExtraLatency < 0 || l.Jitter < 0 {
+			return fmt.Errorf("failure: link rule %d: negative delay", i)
+		}
+	}
+	for i, part := range p.Partitions {
+		if len(part.A) == 0 || len(part.B) == 0 {
+			return fmt.Errorf("failure: partition %d: both sets must be non-empty", i)
+		}
+		for _, a := range part.A {
+			if contains(part.B, a) {
+				return fmt.Errorf("failure: partition %d: server %d on both sides", i, a)
+			}
+		}
+	}
+	return nil
+}
+
+func idMatch(set []types.ServerID, id types.ServerID) bool {
+	return len(set) == 0 || contains(set, id)
+}
+
+func contains(set []types.ServerID, id types.ServerID) bool {
+	for _, s := range set {
+		if s == id {
+			return true
+		}
+	}
+	return false
+}

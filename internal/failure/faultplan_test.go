@@ -1,0 +1,82 @@
+package failure
+
+import (
+	"testing"
+	"time"
+
+	"corec/internal/types"
+)
+
+func TestFaultPlanValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		plan FaultPlan
+		ok   bool
+	}{
+		{"zero plan", FaultPlan{}, true},
+		{"good plan", FaultPlan{
+			Seed: 1,
+			Links: []LinkFault{{
+				DropProb: 0.5, DupProb: 0.1, CorruptProb: 0.01,
+				ExtraLatency: time.Millisecond, Jitter: time.Millisecond,
+			}},
+			Partitions: []Partition{{A: []types.ServerID{0}, B: []types.ServerID{1}}},
+		}, true},
+		{"drop prob above 1", FaultPlan{Links: []LinkFault{{DropProb: 1.5}}}, false},
+		{"negative dup prob", FaultPlan{Links: []LinkFault{{DupProb: -0.1}}}, false},
+		{"corrupt prob above 1", FaultPlan{Links: []LinkFault{{CorruptProb: 2}}}, false},
+		{"negative latency", FaultPlan{Links: []LinkFault{{ExtraLatency: -time.Second}}}, false},
+		{"negative jitter", FaultPlan{Links: []LinkFault{{Jitter: -time.Second}}}, false},
+		{"empty partition side", FaultPlan{Partitions: []Partition{{A: []types.ServerID{0}}}}, false},
+		{"overlapping partition", FaultPlan{Partitions: []Partition{{
+			A: []types.ServerID{0, 1}, B: []types.ServerID{1, 2},
+		}}}, false},
+	}
+	for _, c := range cases {
+		err := c.plan.Validate()
+		if c.ok && err != nil {
+			t.Errorf("%s: unexpected error %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Errorf("%s: invalid plan accepted", c.name)
+		}
+	}
+}
+
+func TestLinkFaultWindowsAndMatching(t *testing.T) {
+	always := LinkFault{}
+	for _, ts := range []types.Version{0, 1, 100} {
+		if !always.ActiveAt(ts) {
+			t.Fatalf("unwindowed rule inactive at %d", ts)
+		}
+	}
+	windowed := LinkFault{FromStep: 3, ToStep: 5}
+	for ts, want := range map[types.Version]bool{2: false, 3: true, 5: true, 6: false} {
+		if windowed.ActiveAt(ts) != want {
+			t.Fatalf("window [3,5] at %d = %v, want %v", ts, !want, want)
+		}
+	}
+	open := LinkFault{FromStep: 4}
+	if open.ActiveAt(3) || !open.ActiveAt(4) || !open.ActiveAt(1000) {
+		t.Fatal("open-ended window wrong")
+	}
+
+	any := LinkFault{}
+	if !any.Matches(-1, 3) || !any.Matches(5, 0) {
+		t.Fatal("nil From/To must match every link, clients included")
+	}
+	scoped := LinkFault{From: []types.ServerID{1}, To: []types.ServerID{2}}
+	if !scoped.Matches(1, 2) || scoped.Matches(2, 1) || scoped.Matches(1, 3) {
+		t.Fatal("scoped rule matching wrong")
+	}
+}
+
+func TestPartitionBlocksBothDirections(t *testing.T) {
+	p := Partition{A: []types.ServerID{0, 1}, B: []types.ServerID{4}}
+	if !p.Blocks(0, 4) || !p.Blocks(4, 1) {
+		t.Fatal("partition must cut both directions")
+	}
+	if p.Blocks(0, 1) || p.Blocks(2, 4) || p.Blocks(-1, 0) {
+		t.Fatal("partition cut traffic outside the two sets")
+	}
+}

@@ -36,11 +36,53 @@ func (b Bucket) String() string {
 	return fmt.Sprintf("Bucket(%d)", int(b))
 }
 
+// Counter names a fault-tolerance event class tallied alongside the
+// timing evidence: how often the RPC layer retried, failed writes over to a
+// successor, reconciled ownership afterwards, or saw the fabric misbehave.
+type Counter int
+
+// Fault-tolerance counters.
+const (
+	// RetryCount tallies resent RPC attempts (attempts beyond the first).
+	RetryCount Counter = iota
+	// FailoverCount tallies writes rerouted to a replication-group
+	// successor after the placed primary was unreachable.
+	FailoverCount
+	// ReconcileCount tallies rerouted writes reconciled by the monitor
+	// after the original primary recovered.
+	ReconcileCount
+	// CorruptFrameCount tallies CRC32 integrity failures that persisted
+	// through a sender's whole retry policy (absorbed corruptions count
+	// as retries, not here).
+	CorruptFrameCount
+	// FaultCount tallies fabric faults (drops, partitions, unreachable
+	// peers) that exhausted a sender's retry policy. Faults absorbed by
+	// a successful retry show up in RetryCount only.
+	FaultCount
+	// MirrorRepairCount tallies directory mirror writes that initially
+	// failed (leaving the record group degraded) and were later repaired
+	// by the hinted-handoff flush.
+	MirrorRepairCount
+	numCounters
+)
+
+var counterNames = [...]string{"retries", "failovers", "reconciles", "corrupt_frames", "faults", "mirror_repairs"}
+
+// String implements fmt.Stringer.
+func (c Counter) String() string {
+	if int(c) < len(counterNames) {
+		return counterNames[c]
+	}
+	return fmt.Sprintf("Counter(%d)", int(c))
+}
+
 // Collector accumulates phase durations and read/write response times.
 // The zero value is NOT usable; call NewCollector.
 type Collector struct {
 	phaseNanos [numBuckets]atomic.Int64
 	phaseCount [numBuckets]atomic.Int64
+
+	counters [numCounters]atomic.Int64
 
 	writeNanos atomic.Int64
 	writeCount atomic.Int64
@@ -66,6 +108,16 @@ func (c *Collector) Add(b Bucket, d time.Duration) {
 	c.phaseNanos[b].Add(int64(d))
 	c.phaseCount[b].Add(1)
 }
+
+// AddCounter increments the fault-tolerance counter by n.
+func (c *Collector) AddCounter(ct Counter, n int64) {
+	if n != 0 {
+		c.counters[ct].Add(n)
+	}
+}
+
+// Counter returns the current value of the fault-tolerance counter.
+func (c *Collector) Counter(ct Counter) int64 { return c.counters[ct].Load() }
 
 // Time runs f and charges its duration to bucket b.
 func (c *Collector) Time(b Bucket, f func()) {
@@ -110,6 +162,8 @@ type Snapshot struct {
 	// Phase durations and counts by bucket.
 	PhaseTotal [numBuckets]time.Duration
 	PhaseCount [numBuckets]int64
+	// Fault-tolerance event counters by Counter.
+	Counters [numCounters]int64
 	// Aggregate response times.
 	WriteTotal time.Duration
 	WriteCount int64
@@ -154,6 +208,9 @@ func (c *Collector) Snapshot() *Snapshot {
 		out.PhaseTotal[b] = time.Duration(c.phaseNanos[b].Load())
 		out.PhaseCount[b] = c.phaseCount[b].Load()
 	}
+	for ct := Counter(0); ct < numCounters; ct++ {
+		out.Counters[ct] = c.counters[ct].Load()
+	}
 	out.WriteTotal = time.Duration(c.writeNanos.Load())
 	out.WriteCount = c.writeCount.Load()
 	out.ReadTotal = time.Duration(c.readNanos.Load())
@@ -185,6 +242,9 @@ func (c *Collector) Reset() {
 	for b := Bucket(0); b < numBuckets; b++ {
 		c.phaseNanos[b].Store(0)
 		c.phaseCount[b].Store(0)
+	}
+	for ct := Counter(0); ct < numCounters; ct++ {
+		c.counters[ct].Store(0)
 	}
 	c.writeNanos.Store(0)
 	c.writeCount.Store(0)

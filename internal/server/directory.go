@@ -2,6 +2,7 @@ package server
 
 import (
 	"context"
+	"fmt"
 	"time"
 
 	"corec/internal/metrics"
@@ -145,10 +146,16 @@ func (s *Server) dirUpdateStripe(ctx context.Context, info *types.StripeInfo) er
 }
 
 // sendToGroup delivers msg to every shard holder, treating the operation as
-// successful when at least one copy lands.
+// successful when at least one copy lands. Mirrors that missed the write
+// while the group as a whole succeeded leave the record single-homed; those
+// are remembered as hints and re-delivered by flushMirrorHints, so a
+// transient partition or drop cannot silently reduce a directory group to
+// one copy for the rest of the run.
 func (s *Server) sendToGroup(ctx context.Context, targets []types.ServerID, msg *transport.Message) error {
 	var firstErr error
 	delivered := false
+	failed := make([]types.ServerID, 0, len(targets))
+	ok := make([]types.ServerID, 0, len(targets))
 	for _, t := range targets {
 		var resp *transport.Message
 		var err error
@@ -156,21 +163,122 @@ func (s *Server) sendToGroup(ctx context.Context, targets []types.ServerID, msg 
 			resp = s.Handle(ctx, msg)
 		} else {
 			cp := *msg // shallow copy; From is mutated by Send
-			resp, err = s.net.Send(ctx, s.id, t, &cp)
+			resp, err = s.sendRetry(ctx, t, &cp)
 		}
 		if err == nil {
 			err = resp.AsError()
 		}
 		if err == nil {
 			delivered = true
-		} else if firstErr == nil {
-			firstErr = err
+			ok = append(ok, t)
+		} else {
+			failed = append(failed, t)
+			if firstErr == nil {
+				firstErr = err
+			}
 		}
+	}
+	if entry, hintable := hintEntry(msg); hintable {
+		s.mu.Lock()
+		// A successful write supersedes any older pending hint for the same
+		// record and target: the mirror now holds a state at least as new.
+		for _, t := range ok {
+			delete(s.mirrorHints, mirrorHintKey(t, entry))
+		}
+		if delivered {
+			for _, t := range failed {
+				s.mirrorHints[mirrorHintKey(t, entry)] = mirrorHint{target: t, msg: cloneForHint(msg)}
+			}
+		}
+		s.mu.Unlock()
 	}
 	if delivered {
 		return nil
 	}
 	return firstErr
+}
+
+// mirrorHint is a directory write that landed on part of its shard group;
+// target still owes the record.
+type mirrorHint struct {
+	target types.ServerID
+	msg    *transport.Message
+}
+
+func mirrorHintKey(target types.ServerID, entry string) string {
+	return fmt.Sprintf("%d/%s", target, entry)
+}
+
+// hintEntry names the directory record a group write addresses. Updates and
+// deletes of the same key share one entry so the latest operation wins.
+func hintEntry(msg *transport.Message) (string, bool) {
+	switch msg.Kind {
+	case transport.MsgMetaUpdate:
+		if msg.Meta == nil {
+			return "", false
+		}
+		return "m/" + msg.Meta.ID.Key(), true
+	case transport.MsgMetaDelete:
+		return "m/" + msg.Key, true
+	case transport.MsgStripeUpdate:
+		if msg.StripeInfo == nil {
+			return "", false
+		}
+		return "s/" + msg.StripeInfo.ID.String(), true
+	}
+	return "", false
+}
+
+// cloneForHint snapshots the parts of a directory message the caller may
+// reuse, so a pending hint stays immutable.
+func cloneForHint(msg *transport.Message) *transport.Message {
+	cp := *msg
+	if msg.Meta != nil {
+		cp.Meta = msg.Meta.Clone()
+	}
+	if msg.StripeInfo != nil {
+		si := *msg.StripeInfo
+		si.Members = append([]types.StripeMember(nil), msg.StripeInfo.Members...)
+		cp.StripeInfo = &si
+	}
+	return &cp
+}
+
+// flushMirrorHints re-delivers directory writes that missed a mirror while
+// their group write succeeded (hinted handoff). Called at step boundaries:
+// by then a transient partition has typically healed or the dead mirror has
+// been replaced (recovery rebuilds its shard from the survivors, making the
+// hint redundant — the re-delivery is versioned and idempotent either way).
+func (s *Server) flushMirrorHints(ctx context.Context) {
+	s.mu.Lock()
+	if len(s.mirrorHints) == 0 {
+		s.mu.Unlock()
+		return
+	}
+	pending := make(map[string]mirrorHint, len(s.mirrorHints))
+	for k, h := range s.mirrorHints {
+		pending[k] = h
+	}
+	s.mu.Unlock()
+	start := time.Now()
+	for k, h := range pending {
+		cp := *h.msg
+		resp, err := s.sendRetry(ctx, h.target, &cp)
+		if err == nil {
+			err = resp.AsError()
+		}
+		if err != nil {
+			continue // mirror still unreachable; keep the hint
+		}
+		s.mu.Lock()
+		// Drop the hint only if no newer write replaced it meanwhile.
+		if cur, ok := s.mirrorHints[k]; ok && cur.msg == h.msg {
+			delete(s.mirrorHints, k)
+			s.col.AddCounter(metrics.MirrorRepairCount, 1)
+		}
+		s.mu.Unlock()
+	}
+	s.col.Add(metrics.Metadata, time.Since(start))
 }
 
 // dirLookupStripe fetches a stripe record, trying each shard-group member
@@ -185,7 +293,7 @@ func (s *Server) dirLookupStripe(ctx context.Context, id types.StripeID) (*types
 		if t == s.id {
 			resp = s.Handle(ctx, msg)
 		} else {
-			resp, err = s.net.Send(ctx, s.id, t, msg)
+			resp, err = s.sendRetry(ctx, t, msg)
 		}
 		if err == nil && resp.Kind == transport.MsgOK && resp.Flag {
 			return resp.StripeInfo, true

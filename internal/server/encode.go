@@ -87,7 +87,7 @@ func (s *Server) encodeObject(ctx context.Context, obj *types.Object, reuse type
 				Data:       shards[i],
 				StripeInfo: info,
 			}
-			resp, err := s.net.Send(ctx, s.id, members[i], msg)
+			resp, err := s.sendRetry(ctx, members[i], msg)
 			if err == nil {
 				err = resp.AsError()
 			}
@@ -107,7 +107,10 @@ func (s *Server) encodeObject(ctx context.Context, obj *types.Object, reuse type
 	sk := shardKey(stripeID, 0)
 	s.mu.Lock()
 	cur, stillThere := s.objects[key]
-	if !stillThere || cur.Version != obj.Version {
+	// Identity, not version: a rewrite within the same time step reuses
+	// the version number, and committing the old bytes over it would lose
+	// the newer write.
+	if !stillThere || cur != obj {
 		s.mu.Unlock()
 		s.dropStripeMembers(ctx, info)
 		return nil
@@ -127,10 +130,10 @@ func (s *Server) encodeObject(ctx context.Context, obj *types.Object, reuse type
 		return err
 	}
 
-	// Commit, stage 3: release the full copy (version-checked: a racing
+	// Commit, stage 3: release the full copy (identity-checked: a racing
 	// newer write keeps its data) and shed the surplus replicas.
 	s.mu.Lock()
-	if cur, ok := s.objects[key]; ok && cur.Version == obj.Version {
+	if cur, ok := s.objects[key]; ok && cur == obj {
 		delete(s.objects, key)
 	}
 	s.mu.Unlock()
@@ -138,7 +141,7 @@ func (s *Server) encodeObject(ctx context.Context, obj *types.Object, reuse type
 		tStart := time.Now()
 		for _, t := range s.replicaHolders() {
 			msg := &transport.Message{Kind: transport.MsgReplicaDrop, Key: key, Version: obj.Version}
-			s.net.Send(ctx, s.id, t, msg) //nolint:errcheck // dead holder needs no drop
+			s.sendRetry(ctx, t, msg) //nolint:errcheck // dead holder needs no drop
 		}
 		s.col.Add(metrics.Transport, time.Since(tStart))
 	}
@@ -158,7 +161,7 @@ func (s *Server) pickHelper(ctx context.Context) (types.ServerID, bool) {
 		return types.InvalidServer, false
 	}
 	for _, t := range s.replicaHolders() {
-		resp, err := s.net.Send(ctx, s.id, t, &transport.Message{Kind: transport.MsgLoadQuery})
+		resp, err := s.sendRetry(ctx, t, &transport.Message{Kind: transport.MsgLoadQuery})
 		if err != nil || resp.Kind != transport.MsgOK {
 			continue
 		}
@@ -185,7 +188,7 @@ func (s *Server) delegateEncode(ctx context.Context, helper types.ServerID, obj 
 		Num:        int64(s.id), // primary: skip its shard during distribution
 	}
 	start := time.Now()
-	resp, err := s.net.Send(ctx, s.id, helper, msg)
+	resp, err := s.sendRetry(ctx, helper, msg)
 	s.col.Add(metrics.Transport, time.Since(start))
 	if err != nil || resp.AsError() != nil || resp.Kind != transport.MsgOK || !resp.Flag {
 		return false
@@ -238,7 +241,7 @@ func (s *Server) handleEncodeDelegate(ctx context.Context, req *transport.Messag
 			s.handleShardPut(msg)
 			continue
 		}
-		resp, err := s.net.Send(ctx, s.id, member.Server, msg)
+		resp, err := s.sendRetry(ctx, member.Server, msg)
 		if err == nil {
 			err = resp.AsError()
 		}
@@ -274,7 +277,7 @@ func (s *Server) dropStripeMembers(ctx context.Context, info *types.StripeInfo) 
 			s.handleShardDrop(msg)
 			continue
 		}
-		s.net.Send(ctx, s.id, member.Server, msg) //nolint:errcheck // dead member holds nothing
+		s.sendRetry(ctx, member.Server, msg) //nolint:errcheck // dead member holds nothing
 	}
 	s.col.Add(metrics.Transport, time.Since(start))
 }
@@ -284,6 +287,10 @@ func (s *Server) dropStripeMembers(ctx context.Context, info *types.StripeInfo) 
 // replication while the storage constraint has slack. Other policies are
 // no-ops. It returns the number of demotions and promotions performed.
 func (s *Server) EndTimeStep(ctx context.Context, ts types.Version) (demoted, promoted int) {
+	// Step boundaries double as the anti-entropy point for the metadata
+	// directory: re-deliver group writes that missed a mirror, under every
+	// policy mode.
+	s.flushMirrorHints(ctx)
 	if s.cfg.Policy.Mode != policy.CoREC {
 		return 0, 0
 	}
@@ -353,6 +360,9 @@ func (s *Server) promotionBudget() int {
 // drop the stripe.
 func (s *Server) promoteObject(ctx context.Context, id types.ObjectID) bool {
 	key := id.Key()
+	lk := s.writeLock(key)
+	lk.Lock()
+	defer lk.Unlock()
 	s.mu.Lock()
 	st, ok := s.local[key]
 	s.mu.Unlock()

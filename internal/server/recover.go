@@ -89,7 +89,7 @@ func (s *Server) fetchShard(ctx context.Context, member types.StripeMember, id t
 		s.mu.Unlock()
 		return b, ok
 	}
-	resp, err := s.net.Send(ctx, s.id, member.Server, &transport.Message{
+	resp, err := s.sendRetry(ctx, member.Server, &transport.Message{
 		Kind: transport.MsgShardGet, Stripe: id, ShardIndex: member.Index,
 	})
 	if err != nil || resp.Kind != transport.MsgGetBytes || !resp.Flag {
@@ -165,7 +165,7 @@ func (s *Server) recoverReplicated(ctx context.Context, meta *types.ObjectMeta) 
 	tStart := time.Now()
 	defer func() { s.col.Add(metrics.Transport, time.Since(tStart)) }()
 	for _, src := range sources {
-		resp, err := s.net.Send(ctx, s.id, src, &transport.Message{Kind: transport.MsgObjFetch, Key: key})
+		resp, err := s.sendRetry(ctx, src, &transport.Message{Kind: transport.MsgObjFetch, Key: key})
 		if err != nil || resp.Kind != transport.MsgGetBytes || !resp.Flag {
 			continue
 		}
@@ -290,7 +290,7 @@ func (s *Server) dirLookupMeta(ctx context.Context, key string) (*types.ObjectMe
 		if t == s.id {
 			resp = s.handleMetaLookup(msg)
 		} else {
-			resp, err = s.net.Send(ctx, s.id, t, msg)
+			resp, err = s.sendRetry(ctx, t, msg)
 		}
 		if err == nil && resp.Kind == transport.MsgOK && resp.Flag {
 			return resp.Meta, true
@@ -365,7 +365,7 @@ func (s *Server) rebuildDirectoryAndWorklist(ctx context.Context) ([]string, err
 		if types.ServerID(peer) == s.id {
 			continue
 		}
-		resp, err := s.net.Send(ctx, s.id, types.ServerID(peer), &transport.Message{Kind: transport.MsgDirDump})
+		resp, err := s.sendRetry(ctx, types.ServerID(peer), &transport.Message{Kind: transport.MsgDirDump})
 		if err != nil || resp.Kind != transport.MsgOK {
 			continue
 		}

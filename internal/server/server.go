@@ -67,6 +67,14 @@ type Server struct {
 
 	inflight atomic.Int64
 
+	// writeLocks serializes the write-path state machines per object key:
+	// a put, a background encode commit, a promotion and a delete of the
+	// same key must not interleave. Version numbers alone cannot order them
+	// — a rewrite within one time step reuses the version, so a slow encode
+	// of the old bytes could otherwise commit over the new write and drop
+	// its copy. Striped by key hash; collisions only over-serialize.
+	writeLocks [64]sync.Mutex
+
 	mu sync.Mutex
 	// objects holds full primary copies keyed by object key.
 	objects map[string]*types.Object
@@ -84,6 +92,10 @@ type Server struct {
 	dir map[string]*types.ObjectMeta
 	// dirStripes holds stripe records in the directory shard.
 	dirStripes map[types.StripeID]*types.StripeInfo
+	// mirrorHints holds directory writes that landed on a quorum of their
+	// shard group but missed a mirror; flushMirrorHints re-delivers them
+	// (hinted handoff) so degraded groups heal without a full recovery.
+	mirrorHints map[string]mirrorHint
 	// tokenBusy is the encoding token of the replication group this server
 	// leads (only meaningful on group leaders).
 	tokenBusy bool
@@ -175,6 +187,7 @@ func New(cfg Config) (*Server, error) {
 		local:       make(map[string]*localState),
 		dir:         make(map[string]*types.ObjectMeta),
 		dirStripes:  make(map[types.StripeID]*types.StripeInfo),
+		mirrorHints: make(map[string]mirrorHint),
 	}
 	s.incarnation = serverIncarnations.Add(1)
 	s.encCond = sync.NewCond(&s.encMu)
@@ -206,6 +219,17 @@ func (s *Server) enqueueEncode(key string) {
 	case s.encCh <- key:
 	case <-s.encStop:
 		s.finishEncode(key)
+	default:
+		// Queue full: hand the send to a goroutine rather than blocking.
+		// Callers may hold the key's write lock, and the worker needs that
+		// lock to drain the queue — blocking here could deadlock.
+		go func() {
+			select {
+			case s.encCh <- key:
+			case <-s.encStop:
+				s.finishEncode(key)
+			}
+		}()
 	}
 }
 
@@ -254,6 +278,9 @@ func (s *Server) deferStripeDrop(key string, id types.StripeID) {
 // promoted, rewritten into heat, or removed since enqueueing. Superseded
 // stripes recorded by the write path are released first.
 func (s *Server) processEncode(key string) {
+	lk := s.writeLock(key)
+	lk.Lock()
+	defer lk.Unlock()
 	s.mu.Lock()
 	drop, hasDrop := s.pendingDrops[key]
 	if hasDrop {
@@ -282,6 +309,33 @@ func (s *Server) processEncode(key string) {
 		}
 	}
 	s.encodeObject(context.Background(), obj, types.StripeID{}, true) //nolint:errcheck
+}
+
+// internalRetry is the bounded resend policy for server-to-server traffic.
+// It is deliberately tighter than the client policy: these sends sit on the
+// write and recovery paths, so the backoff stays in the microsecond range.
+var internalRetry = transport.RetryPolicy{
+	MaxAttempts: 3,
+	BaseBackoff: 200 * time.Microsecond,
+	MaxBackoff:  2 * time.Millisecond,
+	JitterFrac:  0.5,
+}
+
+// sendRetry delivers an internal server-to-server message with a short
+// bounded retry on transient fabric failures. Internal paths (replica
+// pushes, directory updates, shard distribution, recovery fetches) must
+// absorb message-level faults: a silently dropped replica push would
+// strand a stale copy that a later primary failure could expose as a
+// stale read.
+func (s *Server) sendRetry(ctx context.Context, to types.ServerID, msg *transport.Message) (*transport.Message, error) {
+	resp, attempts, err := internalRetry.Send(ctx, s.net, s.id, to, msg)
+	if attempts > 1 {
+		s.col.AddCounter(metrics.RetryCount, int64(attempts-1))
+	}
+	if err != nil && transport.IsRetryable(err) {
+		s.col.AddCounter(metrics.FaultCount, 1)
+	}
+	return resp, err
 }
 
 // ID returns the server's logical ID.
@@ -471,6 +525,19 @@ func (s *Server) StateCounts() (replicated, encoded int) {
 
 func shardKey(id types.StripeID, index int) string {
 	return fmt.Sprintf("%d#%d/%d", id.Group, id.Seq, index)
+}
+
+// writeLock returns the stripe lock serializing write-path transitions of
+// the key. Callers must not nest acquisitions (the encode path is called
+// with the lock already held by its entry point).
+func (s *Server) writeLock(key string) *sync.Mutex {
+	// FNV-1a over the key selects the stripe.
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return &s.writeLocks[h%uint32(len(s.writeLocks))]
 }
 
 // replicaHolders returns the servers holding replicas for this server's

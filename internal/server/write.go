@@ -20,6 +20,13 @@ func (s *Server) handlePut(ctx context.Context, req *transport.Message) *transpo
 	key := id.Key()
 	obj := &types.Object{ID: id, Version: req.Version, Data: req.Data}
 
+	// Serialize against concurrent write-path transitions of this key: a
+	// background encode of the previous bytes must either commit before
+	// this write installs, or observe it and abort.
+	lk := s.writeLock(key)
+	lk.Lock()
+	defer lk.Unlock()
+
 	// Install the object and capture prior state for transition handling.
 	s.mu.Lock()
 	prior, existed := s.local[key]
@@ -138,7 +145,7 @@ func (s *Server) replicateObject(ctx context.Context, obj *types.Object) error {
 			Version: obj.Version,
 			Data:    obj.Data,
 		}
-		resp, err := s.net.Send(ctx, s.id, t, msg)
+		resp, err := s.sendRetry(ctx, t, msg)
 		if err == nil {
 			err = resp.AsError()
 		}
@@ -200,6 +207,9 @@ func (s *Server) buildMeta(id types.ObjectID, v types.Version, size int, st type
 // memory once a time step has been consumed.
 func (s *Server) handleDelete(ctx context.Context, req *transport.Message) *transport.Message {
 	key := req.Key
+	lk := s.writeLock(key)
+	lk.Lock()
+	defer lk.Unlock()
 	s.mu.Lock()
 	st, known := s.local[key]
 	var stripe types.StripeID
@@ -241,7 +251,7 @@ func (s *Server) handleDelete(ctx context.Context, req *transport.Message) *tran
 	} else {
 		tStart := time.Now()
 		for _, t := range s.replicaHolders() {
-			s.net.Send(ctx, s.id, t, &transport.Message{Kind: transport.MsgReplicaDrop, Key: key}) //nolint:errcheck
+			s.sendRetry(ctx, t, &transport.Message{Kind: transport.MsgReplicaDrop, Key: key}) //nolint:errcheck
 		}
 		s.col.Add(metrics.Transport, time.Since(tStart))
 	}
@@ -370,7 +380,7 @@ func (s *Server) acquireToken(ctx context.Context) (release func()) {
 		if leader == s.id {
 			resp = s.handleTokenAcquire(msg)
 		} else {
-			resp, err = s.net.Send(ctx, s.id, leader, msg)
+			resp, err = s.sendRetry(ctx, leader, msg)
 		}
 		if err != nil {
 			return func() {} // leader down: proceed tokenless
@@ -381,7 +391,7 @@ func (s *Server) acquireToken(ctx context.Context) (release func()) {
 				if leader == s.id {
 					s.handleTokenRelease(rel)
 				} else {
-					s.net.Send(context.Background(), s.id, leader, rel) //nolint:errcheck
+					s.sendRetry(context.Background(), leader, rel) //nolint:errcheck
 				}
 			}
 		}

@@ -1,0 +1,144 @@
+package transport
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"corec/internal/failure"
+	"corec/internal/types"
+)
+
+// countingNet is a minimal inner fabric: it counts deliveries and answers OK.
+type countingNet struct{ delivered atomic.Int64 }
+
+func (n *countingNet) Register(types.ServerID, Handler) {}
+func (n *countingNet) Unregister(types.ServerID)        {}
+func (n *countingNet) Send(ctx context.Context, from, to types.ServerID, req *Message) (*Message, error) {
+	n.delivered.Add(1)
+	return Ok(), nil
+}
+
+func TestFaultyNetworkDeterministicAcrossRuns(t *testing.T) {
+	plan := &failure.FaultPlan{
+		Seed: 99,
+		Links: []failure.LinkFault{{
+			DropProb:    0.3,
+			DupProb:     0.2,
+			CorruptProb: 0.1,
+		}},
+	}
+	run := func() (FaultStats, int64) {
+		inner := &countingNet{}
+		f := NewFaultyNetwork(inner, plan)
+		for i := 0; i < 500; i++ {
+			f.Send(context.Background(), types.ServerID(i%4), types.ServerID((i+1)%4), &Message{Kind: MsgPing}) //nolint:errcheck
+		}
+		return f.Stats(), inner.delivered.Load()
+	}
+	s1, d1 := run()
+	s2, d2 := run()
+	if s1 != s2 || d1 != d2 {
+		t.Fatalf("same seed diverged: %+v/%d vs %+v/%d", s1, d1, s2, d2)
+	}
+	if s1.Drops == 0 || s1.Dups == 0 || s1.Corrupts == 0 {
+		t.Fatalf("plan injected nothing: %+v", s1)
+	}
+}
+
+func TestFaultyNetworkDropAndCorruptSurfaceTypedErrors(t *testing.T) {
+	f := NewFaultyNetwork(&countingNet{}, &failure.FaultPlan{
+		Links: []failure.LinkFault{{DropProb: 1}},
+	})
+	if _, err := f.Send(context.Background(), 0, 1, &Message{Kind: MsgPing}); !errors.Is(err, ErrDropped) {
+		t.Fatalf("drop err = %v, want ErrDropped", err)
+	}
+	if !IsRetryable(ErrDropped) {
+		t.Fatal("ErrDropped must be retryable")
+	}
+
+	f = NewFaultyNetwork(&countingNet{}, &failure.FaultPlan{
+		Links: []failure.LinkFault{{CorruptProb: 1}},
+	})
+	_, err := f.Send(context.Background(), 0, 1, sampleMessage())
+	if !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("corrupt err = %v, want ErrCorruptFrame", err)
+	}
+	if st := f.Stats(); st.Corrupts != 1 {
+		t.Fatalf("stats = %+v, want one corrupt", st)
+	}
+}
+
+func TestFaultyNetworkDuplicateDelivers(t *testing.T) {
+	inner := &countingNet{}
+	f := NewFaultyNetwork(inner, &failure.FaultPlan{
+		Links: []failure.LinkFault{{DupProb: 1}},
+	})
+	if _, err := f.Send(context.Background(), 0, 1, &Message{Kind: MsgPing}); err != nil {
+		t.Fatal(err)
+	}
+	if n := inner.delivered.Load(); n != 2 {
+		t.Fatalf("delivered %d times, want 2 (original + duplicate)", n)
+	}
+}
+
+func TestFaultyNetworkStepWindows(t *testing.T) {
+	f := NewFaultyNetwork(&countingNet{}, &failure.FaultPlan{
+		Partitions: []failure.Partition{{
+			A: []types.ServerID{0}, B: []types.ServerID{1},
+			FromStep: 2, ToStep: 3,
+		}},
+	})
+	send := func() error {
+		_, err := f.Send(context.Background(), 0, 1, &Message{Kind: MsgPing})
+		return err
+	}
+	if err := send(); err != nil {
+		t.Fatalf("partition active before its window: %v", err)
+	}
+	f.AdvanceStep(2)
+	if err := send(); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("in-window err = %v, want ErrPartitioned", err)
+	}
+	// Traffic not crossing the cut is unaffected, clients included.
+	if _, err := f.Send(context.Background(), -1, 1, &Message{Kind: MsgPing}); err != nil {
+		t.Fatalf("client traffic blocked by server partition: %v", err)
+	}
+	f.AdvanceStep(4)
+	if err := send(); err != nil {
+		t.Fatalf("partition active past its window: %v", err)
+	}
+	if st := f.Stats(); st.Partitioned != 1 {
+		t.Fatalf("stats = %+v, want one partitioned send", st)
+	}
+}
+
+func TestFaultyNetworkManualPartitionHeals(t *testing.T) {
+	f := NewFaultyNetwork(&countingNet{}, nil)
+	heal := f.Partition([]types.ServerID{0}, []types.ServerID{1, 2})
+	if _, err := f.Send(context.Background(), 2, 0, &Message{Kind: MsgPing}); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("manual partition not enforced: %v", err)
+	}
+	heal()
+	if _, err := f.Send(context.Background(), 2, 0, &Message{Kind: MsgPing}); err != nil {
+		t.Fatalf("partition survived heal: %v", err)
+	}
+}
+
+func TestFaultyNetworkDelayHonorsContext(t *testing.T) {
+	f := NewFaultyNetwork(&countingNet{}, &failure.FaultPlan{
+		Links: []failure.LinkFault{{ExtraLatency: time.Minute}},
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := f.Send(ctx, 0, 1, &Message{Kind: MsgPing})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("delayed send err = %v, want DeadlineExceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("delay ignored the context deadline")
+	}
+}

@@ -117,9 +117,14 @@ func Errf(format string, args ...any) *Message {
 }
 
 // AsError converts an MsgErr response into a Go error; any other kind maps
-// to nil.
+// to nil. Responses flagged retryable by the peer (Flag set on MsgErr, e.g.
+// a corrupt request frame the server detected) wrap ErrRemoteRetryable so
+// the retry layer resends them.
 func (m *Message) AsError() error {
 	if m != nil && m.Kind == MsgErr {
+		if m.Flag {
+			return fmt.Errorf("%w: %s", ErrRemoteRetryable, m.Err)
+		}
 		return errors.New(m.Err)
 	}
 	return nil
@@ -154,9 +159,26 @@ func metaWireSize(meta *types.ObjectMeta) int {
 // safe for concurrent use.
 type Handler func(ctx context.Context, req *Message) *Message
 
-// ErrUnreachable is returned by Send when the destination has no registered
-// handler (the server failed or never existed).
-var ErrUnreachable = errors.New("transport: destination unreachable")
+// Typed transport errors. The retry layer (see IsRetryable) distinguishes
+// these transient fabric failures from terminal application errors.
+var (
+	// ErrUnreachable is returned by Send when the destination has no
+	// registered handler (the server failed or never existed).
+	ErrUnreachable = errors.New("transport: destination unreachable")
+	// ErrDropped is returned when the fabric lost the request or response
+	// (injected by FaultyNetwork; a real fabric surfaces a timeout instead).
+	ErrDropped = errors.New("transport: message dropped")
+	// ErrPartitioned is returned when a network partition blocks the link
+	// between sender and destination.
+	ErrPartitioned = errors.New("transport: link partitioned")
+	// ErrCorruptFrame is returned when a wire frame fails its CRC32
+	// integrity check. The frame boundary is intact, so the message can
+	// simply be resent.
+	ErrCorruptFrame = errors.New("transport: corrupt frame (CRC32 mismatch)")
+	// ErrRemoteRetryable wraps MsgErr responses the peer flagged as
+	// transient (e.g. it received a corrupt request frame).
+	ErrRemoteRetryable = errors.New("transport: retryable remote error")
+)
 
 // Network is the fabric abstraction: register a server's handler, send
 // request/response pairs.

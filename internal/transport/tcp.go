@@ -3,40 +3,79 @@ package transport
 import (
 	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"corec/internal/types"
 )
 
 // The TCP fabric serializes Messages with the wire codec and frames them
-// with a 4-byte little-endian length prefix. Each in-flight request owns one
-// pooled connection, so responses need no correlation IDs.
+// with an 8-byte header: a little-endian payload length followed by the
+// payload's CRC32 (IEEE). The checksum turns in-flight corruption into the
+// typed, retryable ErrCorruptFrame instead of a decode panic or silent
+// garbage; because the length prefix still bounds the frame, the stream
+// stays aligned and the connection survives a corrupt frame. Each in-flight
+// request owns one pooled connection, so responses need no correlation IDs.
 
 const maxFrame = 1 << 30
 
-// WriteFrame writes one length-prefixed message to w.
-func WriteFrame(w io.Writer, m *Message) error {
-	payload := Encode(m, nil)
-	var hdr [4]byte
-	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
-	if _, err := w.Write(hdr[:]); err != nil {
-		return err
+// frameHeaderSize is the frame header: uint32 payload length + uint32 CRC32.
+const frameHeaderSize = 8
+
+// EncodeFrame serializes one message into a self-contained frame:
+// length-prefixed, CRC32-protected wire bytes as written to a TCP stream.
+func EncodeFrame(m *Message) []byte {
+	buf := Encode(m, make([]byte, frameHeaderSize, frameHeaderSize+m.WireSize()))
+	payload := buf[frameHeaderSize:]
+	binary.LittleEndian.PutUint32(buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(buf[4:8], crc32.ChecksumIEEE(payload))
+	return buf
+}
+
+// DecodeFrame parses one complete frame produced by EncodeFrame, verifying
+// its CRC32 before decoding. A checksum mismatch yields ErrCorruptFrame.
+func DecodeFrame(buf []byte) (*Message, error) {
+	if len(buf) < frameHeaderSize {
+		return nil, fmt.Errorf("transport: frame of %d bytes shorter than header", len(buf))
 	}
-	_, err := w.Write(payload)
+	n := binary.LittleEndian.Uint32(buf[0:4])
+	if n > maxFrame {
+		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
+	}
+	if int(n)+frameHeaderSize != len(buf) {
+		return nil, fmt.Errorf("transport: frame length %d does not match %d buffered bytes", n, len(buf)-frameHeaderSize)
+	}
+	return verifyFramePayload(binary.LittleEndian.Uint32(buf[4:8]), buf[frameHeaderSize:])
+}
+
+func verifyFramePayload(wantCRC uint32, payload []byte) (*Message, error) {
+	if got := crc32.ChecksumIEEE(payload); got != wantCRC {
+		return nil, fmt.Errorf("%w: checksum %08x, want %08x", ErrCorruptFrame, got, wantCRC)
+	}
+	return Decode(payload)
+}
+
+// WriteFrame writes one length-prefixed, CRC32-protected message to w.
+func WriteFrame(w io.Writer, m *Message) error {
+	_, err := w.Write(EncodeFrame(m))
 	return err
 }
 
-// ReadFrame reads one length-prefixed message from r.
+// ReadFrame reads one frame from r, verifying its integrity. Corruption
+// surfaces as ErrCorruptFrame with the stream still aligned on the next
+// frame boundary (the length prefix was honoured).
 func ReadFrame(r io.Reader) (*Message, error) {
-	var hdr [4]byte
+	var hdr [frameHeaderSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
 	}
-	n := binary.LittleEndian.Uint32(hdr[:])
+	n := binary.LittleEndian.Uint32(hdr[0:4])
 	if n > maxFrame {
 		return nil, fmt.Errorf("transport: frame of %d bytes exceeds limit", n)
 	}
@@ -44,7 +83,7 @@ func ReadFrame(r io.Reader) (*Message, error) {
 	if _, err := io.ReadFull(r, buf); err != nil {
 		return nil, err
 	}
-	return Decode(buf)
+	return verifyFramePayload(binary.LittleEndian.Uint32(hdr[4:8]), buf)
 }
 
 // TCPServer serves the staging protocol on a TCP listener, dispatching each
@@ -108,6 +147,16 @@ func (s *TCPServer) serveConn(conn net.Conn) {
 	for {
 		req, err := ReadFrame(conn)
 		if err != nil {
+			if errors.Is(err, ErrCorruptFrame) {
+				// The frame boundary held (length prefix was valid), so the
+				// stream is still aligned: report the corruption as a
+				// retryable error and keep the connection.
+				resp := Errf("%v", err)
+				resp.Flag = true // retryable: the client should resend
+				if WriteFrame(conn, resp) == nil {
+					continue
+				}
+			}
 			return
 		}
 		resp := s.handler(context.Background(), req)
@@ -148,6 +197,9 @@ type TCPNetwork struct {
 	pool    map[types.ServerID][]net.Conn
 	// listenAddr is the host/interface used for locally hosted servers.
 	listenAddr string
+	// redials counts requests salvaged by redialing after a pooled
+	// connection turned out to be stale (server restarted under its ID).
+	redials atomic.Int64
 }
 
 var _ Network = (*TCPNetwork)(nil)
@@ -225,20 +277,35 @@ func (n *TCPNetwork) dropPoolLocked(id types.ServerID) {
 	delete(n.pool, id)
 }
 
-func (n *TCPNetwork) getConn(to types.ServerID) (net.Conn, error) {
+// getConn returns a connection to the destination, preferring the pool.
+// pooled reports whether the connection was reused: a pooled connection may
+// be stale (its server restarted under the same ID), so the caller redials
+// once when the first exchange on it fails.
+func (n *TCPNetwork) getConn(to types.ServerID) (c net.Conn, pooled bool, err error) {
 	n.mu.Lock()
-	addr, ok := n.addrs[to]
-	if !ok {
+	if _, ok := n.addrs[to]; !ok {
 		n.mu.Unlock()
-		return nil, ErrUnreachable
+		return nil, false, ErrUnreachable
 	}
 	if conns := n.pool[to]; len(conns) > 0 {
 		c := conns[len(conns)-1]
 		n.pool[to] = conns[:len(conns)-1]
 		n.mu.Unlock()
-		return c, nil
+		return c, true, nil
 	}
 	n.mu.Unlock()
+	c, err = n.dial(to)
+	return c, false, err
+}
+
+// dial opens a fresh connection to the destination's current address.
+func (n *TCPNetwork) dial(to types.ServerID) (net.Conn, error) {
+	n.mu.Lock()
+	addr, ok := n.addrs[to]
+	n.mu.Unlock()
+	if !ok {
+		return nil, ErrUnreachable
+	}
 	c, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrUnreachable, err)
@@ -256,13 +323,36 @@ func (n *TCPNetwork) putConn(to types.ServerID, c net.Conn) {
 	n.pool[to] = append(n.pool[to], c)
 }
 
-// Send implements Network.
+// Send implements Network. A request that fails on a pooled connection is
+// retried once on a freshly dialed one: the pooled connection may simply be
+// stale because its server restarted under the same ID, and that salvage
+// must not surface as a request failure.
 func (n *TCPNetwork) Send(ctx context.Context, from, to types.ServerID, req *Message) (*Message, error) {
-	conn, err := n.getConn(to)
+	conn, pooled, err := n.getConn(to)
 	if err != nil {
 		return nil, err
 	}
 	req.From = from
+	resp, err := n.exchange(ctx, conn, to, req)
+	if err == nil {
+		return resp, nil
+	}
+	if !pooled || errors.Is(err, ErrCorruptFrame) {
+		// Fresh dials and integrity failures are genuine; only staleness of
+		// a reused connection warrants the silent redial.
+		return nil, err
+	}
+	n.redials.Add(1)
+	conn, err = n.dial(to)
+	if err != nil {
+		return nil, err
+	}
+	return n.exchange(ctx, conn, to, req)
+}
+
+// exchange runs one request/response on the connection, returning it to the
+// pool on success and closing it on failure.
+func (n *TCPNetwork) exchange(ctx context.Context, conn net.Conn, to types.ServerID, req *Message) (*Message, error) {
 	if dl, ok := ctx.Deadline(); ok {
 		conn.SetDeadline(dl)
 	} else {
@@ -276,6 +366,10 @@ func (n *TCPNetwork) Send(ctx context.Context, from, to types.ServerID, req *Mes
 	n.putConn(to, conn)
 	return resp, nil
 }
+
+// Redials returns how many requests were salvaged by redialing after a
+// stale pooled connection failed.
+func (n *TCPNetwork) Redials() int64 { return n.redials.Load() }
 
 func (n *TCPNetwork) send(conn net.Conn, req *Message) (*Message, error) {
 	if err := WriteFrame(conn, req); err != nil {

@@ -1,0 +1,56 @@
+package transport
+
+import (
+	"context"
+	"testing"
+)
+
+// TestTCPStalePoolRedial restarts a server under the same address and
+// checks the client fabric salvages the request: the first exchange rides a
+// pooled connection that died with the old process, fails, and is redialed
+// once against the new listener — the caller never sees the staleness.
+func TestTCPStalePoolRedial(t *testing.T) {
+	echo := func(ctx context.Context, req *Message) *Message {
+		return &Message{Kind: MsgOK, Var: req.Var}
+	}
+	srv, err := NewTCPServer("127.0.0.1:0", echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr()
+
+	n := NewTCPNetwork("127.0.0.1")
+	defer n.Close()
+	n.AddRemote(3, addr)
+	ctx := context.Background()
+
+	resp, err := n.Send(ctx, -1, 3, &Message{Kind: MsgPing, Var: "warm"})
+	if err != nil || resp.Var != "warm" {
+		t.Fatalf("warmup exchange: %v (%+v)", err, resp)
+	}
+	if n.Redials() != 0 {
+		t.Fatalf("redials after warmup = %d, want 0", n.Redials())
+	}
+
+	// Restart the server on the same address: the pooled connection is now
+	// stale, but the fabric's directory entry is still correct.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := NewTCPServer(addr, echo)
+	if err != nil {
+		t.Fatalf("rebinding %s: %v", addr, err)
+	}
+	defer srv2.Close()
+
+	resp, err = n.Send(ctx, -1, 3, &Message{Kind: MsgPing, Var: "again"})
+	if err != nil {
+		t.Fatalf("send across restart not salvaged: %v", err)
+	}
+	if resp.Var != "again" {
+		t.Fatalf("resp = %+v", resp)
+	}
+	if n.Redials() != 1 {
+		t.Fatalf("redials = %d, want exactly 1", n.Redials())
+	}
+}

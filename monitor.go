@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"corec/internal/metrics"
 	"corec/internal/recovery"
 	"corec/internal/transport"
 	"corec/internal/types"
@@ -184,11 +185,31 @@ func (m *Monitor) recover(ctx context.Context, id types.ServerID) {
 		mode = recovery.Aggressive
 	}
 	repaired, _ := srv.RunRecovery(ctx, mode)
+	m.reconcileReroutes(ctx, id)
 	m.mu.Lock()
 	delete(m.dead, id)
 	m.suspects[id] = 0
 	m.mu.Unlock()
 	m.emit(MonitorEvent{Kind: EventRecoveryFinished, Server: ServerID(id), Time: time.Now(), Repaired: repaired})
+}
+
+// reconcileReroutes drains the write-failover log for the recovered
+// server: every put that was rerouted away while it was down is replayed
+// as a recover instruction, so the server re-fetches the object from its
+// new primary and the directory's ownership view converges promptly
+// instead of waiting for lazy on-access repair.
+func (m *Monitor) reconcileReroutes(ctx context.Context, id types.ServerID) {
+	c := m.cluster
+	for _, r := range c.takeReroutesFrom(ServerID(id)) {
+		resp, err := c.net.Send(ctx, -1, id, &transport.Message{Kind: transport.MsgRecover, Key: r.Key})
+		if err != nil || resp.AsError() != nil {
+			// The server went down again (or the fabric is misbehaving);
+			// requeue the reroute so a later recovery retries it.
+			c.recordRerouteQuiet(r)
+			continue
+		}
+		c.col.AddCounter(metrics.ReconcileCount, 1)
+	}
 }
 
 func (m *Monitor) emit(ev MonitorEvent) {

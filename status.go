@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"time"
 
+	"corec/internal/metrics"
 	"corec/internal/server"
 	"corec/internal/transport"
 	"corec/internal/types"
@@ -28,7 +29,7 @@ func (cl *Client) Status(ctx context.Context) []ServerStatus {
 	for i := 0; i < c.cfg.Servers; i++ {
 		id := types.ServerID(i)
 		out[i].ID = ServerID(i)
-		resp, err := c.net.Send(ctx, cl.id, id, &transport.Message{Kind: transport.MsgStats})
+		resp, err := cl.send(ctx, id, &transport.Message{Kind: transport.MsgStats})
 		if err != nil || resp.Kind != transport.MsgOK {
 			continue
 		}
@@ -37,6 +38,49 @@ func (cl *Client) Status(ctx context.Context) []ServerStatus {
 		}
 	}
 	return out
+}
+
+// FabricStatus aggregates the cluster's fault-tolerance view: the RPC
+// layer's retry/failover/reconcile counters, pending (unreconciled) write
+// reroutes, and — when a FaultPlan wraps the fabric — the injector's fault
+// tallies.
+type FabricStatus struct {
+	// Retries is the number of resent RPC attempts (client and server side).
+	Retries int64
+	// Failovers is the number of writes rerouted to a successor primary.
+	Failovers int64
+	// Reconciles is the number of reroutes reconciled after recovery.
+	Reconciles int64
+	// CorruptFrames is the number of CRC32 integrity failures that
+	// persisted through a sender's whole retry policy.
+	CorruptFrames int64
+	// Faults is the number of fabric faults that exhausted a sender's
+	// retry policy; faults absorbed by a retry count toward Retries.
+	Faults int64
+	// MirrorRepairs is the number of degraded directory-group writes
+	// re-mirrored by hinted handoff at step boundaries.
+	MirrorRepairs int64
+	// PendingReroutes is the current depth of the write-failover log.
+	PendingReroutes int
+	// Injected reports the fault injector's counters; zero without a plan.
+	Injected transport.FaultStats
+}
+
+// FabricStatus reports the cluster's fault-tolerance counters.
+func (c *Cluster) FabricStatus() FabricStatus {
+	st := FabricStatus{
+		Retries:         c.col.Counter(metrics.RetryCount),
+		Failovers:       c.col.Counter(metrics.FailoverCount),
+		Reconciles:      c.col.Counter(metrics.ReconcileCount),
+		CorruptFrames:   c.col.Counter(metrics.CorruptFrameCount),
+		Faults:          c.col.Counter(metrics.FaultCount),
+		MirrorRepairs:   c.col.Counter(metrics.MirrorRepairCount),
+		PendingReroutes: len(c.Reroutes()),
+	}
+	if c.faults != nil {
+		st.Injected = c.faults.Stats()
+	}
+	return st
 }
 
 // WaitForVersion blocks until at least one object of the variable

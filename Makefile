@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race short bench ci clean
+.PHONY: all build vet staticcheck test race short scrubrace bench ci clean
 
 all: ci
 
@@ -9,6 +9,15 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet. Skips (with a notice) when the staticcheck
+# binary is not installed, so offline/container builds stay green.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -21,10 +30,16 @@ race:
 short:
 	$(GO) test -short ./...
 
+# Race-detector pass focused on the background anti-entropy scrubber and
+# chaos paths: the concurrent scrub/foreground test runs even under -short
+# precisely so this job covers the scrubber goroutines.
+scrubrace:
+	$(GO) test -race -run 'TestScrub|TestChaos' ./...
+
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
 
-ci: vet build race test
+ci: vet staticcheck build race scrubrace test
 
 clean:
 	$(GO) clean ./...

@@ -22,7 +22,9 @@
 package corec
 
 import (
+	"context"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
@@ -34,6 +36,7 @@ import (
 	"corec/internal/placement"
 	"corec/internal/policy"
 	"corec/internal/recovery"
+	"corec/internal/scrub"
 	"corec/internal/server"
 	"corec/internal/simnet"
 	"corec/internal/topology"
@@ -61,7 +64,14 @@ type (
 	LinkModel = simnet.LinkModel
 	// Snapshot is a metrics snapshot.
 	Snapshot = metrics.Snapshot
+	// ScrubConfig tunes the anti-entropy scrubber.
+	ScrubConfig = scrub.Config
+	// ScrubReport tallies one scrub pass (or sweep) outcome.
+	ScrubReport = scrub.Report
 )
+
+// DefaultScrubConfig returns the stock scrubber tuning.
+func DefaultScrubConfig() ScrubConfig { return scrub.DefaultConfig() }
 
 // Policy modes, re-exported.
 const (
@@ -141,8 +151,13 @@ type Config struct {
 	// FaultPlan, when non-nil, wraps the fabric in a FaultyNetwork
 	// injecting the plan's seeded network faults. Experiments use it to mix
 	// message-level faults with node kills; production deployments leave it
-	// nil.
+	// nil. Scheduled BitRot faults land at end-of-step processing.
 	FaultPlan *failure.FaultPlan
+	// Scrub, when non-nil, starts the background anti-entropy scrubber on
+	// every server (including monitor-started replacements) with this
+	// tuning. Nil disables background scrubbing; Cluster.ScrubNow still
+	// works for on-demand sweeps.
+	Scrub *ScrubConfig
 }
 
 // DefaultConfig returns a CoREC cluster configuration over n servers
@@ -214,6 +229,13 @@ type Cluster struct {
 	// unreachable primary, pending reconciliation once it recovers.
 	rerouteMu sync.Mutex
 	reroutes  []Reroute
+
+	// rotMu guards the at-rest bit-rot stream: one seeded rng (separate
+	// from the network injector's) drives every injection so scheduled and
+	// manual corruption stay deterministic, and rotLog records what landed.
+	rotMu  sync.Mutex
+	rotRng *rand.Rand
+	rotLog []failure.BitRotEvent
 }
 
 // Reroute records one write that failed over from its placed primary to a
@@ -278,6 +300,11 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		faults = transport.NewFaultyNetwork(net, cfg.FaultPlan)
 		net = faults
 	}
+	if cfg.Scrub != nil {
+		if err := cfg.Scrub.Validate(); err != nil {
+			return nil, err
+		}
+	}
 	place := placement.NewHash(cfg.Servers)
 	col := metrics.NewCollector()
 	polCfg := policy.Config{
@@ -337,6 +364,12 @@ func (c *Cluster) startServer(id types.ServerID) (*server.Server, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if c.cfg.Scrub != nil {
+		if err := srv.StartScrubber(*c.cfg.Scrub); err != nil {
+			srv.Close()
+			return nil, err
+		}
 	}
 	c.mu.Lock()
 	c.servers[id] = srv
@@ -557,7 +590,124 @@ func (c *Cluster) EndTimeStep(ts Version) (demoted, promoted int) {
 	if c.faults != nil {
 		c.faults.AdvanceStep(ts + 1)
 	}
+	// At-rest corruption scheduled for this step lands now, after the
+	// encode queues drained: the rot hits settled payloads, not buffers an
+	// in-flight encode is about to replace.
+	c.applyBitRot(ts)
 	return demoted, promoted
+}
+
+// applyBitRot fires the fault plan's bit-rot entries scheduled for the
+// given step, in plan order off the shared seeded stream.
+func (c *Cluster) applyBitRot(ts Version) {
+	if c.cfg.FaultPlan == nil || len(c.cfg.FaultPlan.BitRot) == 0 {
+		return
+	}
+	for _, f := range c.cfg.FaultPlan.BitRot {
+		if f.Step != ts {
+			continue
+		}
+		c.injectBitRot(f.Server, ts, f.Target, f.Count)
+	}
+}
+
+// InjectBitRot flips one bit in each of up to count resident payloads on
+// the server, drawn deterministically from the cluster's seeded rot
+// stream — the manual counterpart of FaultPlan.BitRot for tests that
+// corrupt at a precise point instead of a step boundary. Returns the
+// corruption events (nil if the server is dead or holds nothing).
+func (c *Cluster) InjectBitRot(id ServerID, target failure.RotTarget, count int) []failure.BitRotEvent {
+	return c.injectBitRot(id, 0, target, count)
+}
+
+func (c *Cluster) injectBitRot(id ServerID, ts Version, target failure.RotTarget, count int) []failure.BitRotEvent {
+	srv := c.Server(id)
+	if srv == nil {
+		return nil // fail-stopped: its memory is gone, nothing to rot
+	}
+	c.rotMu.Lock()
+	defer c.rotMu.Unlock()
+	if c.rotRng == nil {
+		seed := c.cfg.Seed
+		if c.cfg.FaultPlan != nil {
+			seed = c.cfg.FaultPlan.Seed
+		}
+		// Salt the seed so the rot stream never mirrors the network
+		// injector's decisions plan for plan.
+		c.rotRng = rand.New(rand.NewSource(seed ^ 0x5c2b17a9d3e8f041))
+	}
+	evs := srv.InjectBitRot(c.rotRng, serverRotTarget(target), count)
+	out := make([]failure.BitRotEvent, 0, len(evs))
+	for _, e := range evs {
+		ev := failure.BitRotEvent{
+			Server:   types.ServerID(id),
+			Step:     ts,
+			Category: e.Category,
+			Key:      e.Key,
+			Offset:   e.Offset,
+			Bit:      e.Bit,
+		}
+		c.rotLog = append(c.rotLog, ev)
+		out = append(out, ev)
+	}
+	return out
+}
+
+func serverRotTarget(t failure.RotTarget) server.RotTarget {
+	switch t {
+	case failure.RotObjects:
+		return server.RotObjects
+	case failure.RotReplicas:
+		return server.RotReplicas
+	case failure.RotShards:
+		return server.RotShards
+	default:
+		return server.RotAny
+	}
+}
+
+// BitRotLog returns a copy of every at-rest corruption applied so far,
+// scheduled or manual, in injection order.
+func (c *Cluster) BitRotLog() []failure.BitRotEvent {
+	c.rotMu.Lock()
+	defer c.rotMu.Unlock()
+	return append([]failure.BitRotEvent(nil), c.rotLog...)
+}
+
+// ScrubNow runs one synchronous cluster-wide anti-entropy sweep and
+// returns the aggregated report. The sweep is two-phase: first every live
+// server verifies its own payloads at local depth, then every server runs
+// its full configured pass (replica cross-checks and stripe spot-decodes
+// included). The local phase runs everywhere first so each at-rest
+// corruption is detected — and counted — by its holder before a peer's
+// cross-check repairs it out from under the count; this is what makes
+// detection totals deterministic for seeded chaos tests.
+func (c *Cluster) ScrubNow(ctx context.Context) (ScrubReport, error) {
+	c.mu.Lock()
+	servers := make([]*server.Server, 0, len(c.servers))
+	for i := 0; i < c.cfg.Servers; i++ {
+		if s := c.servers[types.ServerID(i)]; s != nil {
+			servers = append(servers, s)
+		}
+	}
+	c.mu.Unlock()
+	var total ScrubReport
+	var firstErr error
+	for _, s := range servers {
+		r, err := s.ScrubDepth(ctx, scrub.DepthLocal)
+		total.Add(r)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	for _, s := range servers {
+		r, err := s.ScrubOnce(ctx)
+		total.Add(r)
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return total, firstErr
 }
 
 // StorageReport aggregates storage usage across live servers.

@@ -87,6 +87,71 @@ func (p *Partition) Blocks(from, to types.ServerID) bool {
 		(contains(p.B, from) && contains(p.A, to))
 }
 
+// RotTarget selects which category of a server's resident payloads an
+// at-rest bit-rot fault corrupts.
+type RotTarget int
+
+// Bit-rot targets.
+const (
+	// RotAny draws from primaries, replicas and shards alike.
+	RotAny RotTarget = iota
+	// RotObjects corrupts full primary copies only.
+	RotObjects
+	// RotReplicas corrupts mirror copies only.
+	RotReplicas
+	// RotShards corrupts erasure-coded stripe shards only.
+	RotShards
+	rotTargetCount
+)
+
+// String implements fmt.Stringer.
+func (t RotTarget) String() string {
+	switch t {
+	case RotObjects:
+		return "objects"
+	case RotReplicas:
+		return "replicas"
+	case RotShards:
+		return "shards"
+	default:
+		return "any"
+	}
+}
+
+// BitRotFault schedules seeded at-rest corruption: when the workflow
+// finishes time step Step, Count resident payloads on Server each get one
+// bit flipped, chosen deterministically from the plan's seed. Unlike the
+// wire-level CorruptProb (caught in flight by the frame CRC), at-rest rot
+// is silent — only the anti-entropy scrubber's checksum sweep finds it.
+type BitRotFault struct {
+	// Server is the server whose memory rots.
+	Server types.ServerID
+	// Step is the workflow time step after which the corruption lands
+	// (applied by the cluster's end-of-step processing).
+	Step types.Version
+	// Count is how many payloads get one flipped bit each. Servers holding
+	// fewer payloads rot everything they have.
+	Count int
+	// Target restricts the payload category; RotAny (zero) draws from all.
+	Target RotTarget
+}
+
+// BitRotEvent records one applied at-rest corruption, for test assertions
+// against the scrubber's detection counts.
+type BitRotEvent struct {
+	// Server is the server whose copy rotted.
+	Server types.ServerID
+	// Step is the workflow time step the fault fired at.
+	Step types.Version
+	// Category is "object", "replica" or "shard".
+	Category string
+	// Key is the object key, or the shard key for shards.
+	Key string
+	// Offset is the byte offset of the flipped bit; Bit the XOR mask.
+	Offset int
+	Bit    byte
+}
+
 // FaultPlan is a seeded, scripted schedule of network faults. The zero
 // value injects nothing. Plans are immutable once handed to a
 // FaultyNetwork; transient faults are expressed through step windows or
@@ -99,6 +164,9 @@ type FaultPlan struct {
 	Links []LinkFault
 	// Partitions are scripted bidirectional partitions.
 	Partitions []Partition
+	// BitRot schedules at-rest corruption, applied by the cluster at the
+	// end of each fault's time step (the network layer never sees these).
+	BitRot []BitRotFault
 }
 
 // Validate checks probability bounds and partition well-formedness.
@@ -114,6 +182,17 @@ func (p *FaultPlan) Validate() error {
 		}
 		if l.ExtraLatency < 0 || l.Jitter < 0 {
 			return fmt.Errorf("failure: link rule %d: negative delay", i)
+		}
+	}
+	for i, r := range p.BitRot {
+		if r.Server < 0 {
+			return fmt.Errorf("failure: bit-rot fault %d: negative server id %d", i, r.Server)
+		}
+		if r.Count <= 0 {
+			return fmt.Errorf("failure: bit-rot fault %d: count must be positive", i)
+		}
+		if r.Target < RotAny || r.Target >= rotTargetCount {
+			return fmt.Errorf("failure: bit-rot fault %d: unknown target %d", i, r.Target)
 		}
 	}
 	for i, part := range p.Partitions {

@@ -80,3 +80,28 @@ func TestPartitionBlocksBothDirections(t *testing.T) {
 		t.Fatal("partition cut traffic outside the two sets")
 	}
 }
+
+func TestBitRotValidation(t *testing.T) {
+	ok := FaultPlan{BitRot: []BitRotFault{{Server: 3, Step: 2, Count: 1, Target: RotShards}}}
+	if err := ok.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []BitRotFault{
+		{Server: -1, Count: 1},
+		{Server: 0, Count: 0},
+		{Server: 0, Count: -2},
+		{Server: 0, Count: 1, Target: RotTarget(99)},
+	} {
+		p := FaultPlan{BitRot: []BitRotFault{bad}}
+		if err := p.Validate(); err == nil {
+			t.Fatalf("bad bit-rot fault %+v accepted", bad)
+		}
+	}
+	for want, tgt := range map[string]RotTarget{
+		"any": RotAny, "objects": RotObjects, "replicas": RotReplicas, "shards": RotShards,
+	} {
+		if tgt.String() != want {
+			t.Fatalf("RotTarget(%d).String() = %q, want %q", tgt, tgt.String(), want)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"corec/internal/metrics"
 	"corec/internal/policy"
+	"corec/internal/scrub"
 	"corec/internal/transport"
 	"corec/internal/types"
 )
@@ -116,6 +117,7 @@ func (s *Server) encodeObject(ctx context.Context, obj *types.Object, reuse type
 		return nil
 	}
 	s.shards[sk] = shards[0]
+	s.shardSums[sk] = scrub.Checksum(shards[0])
 	s.shardStripe[sk] = *info
 	s.mu.Unlock()
 
@@ -124,8 +126,9 @@ func (s *Server) encodeObject(ctx context.Context, obj *types.Object, reuse type
 	if err := s.dirUpdateStripe(ctx, info); err != nil {
 		return err
 	}
-	s.setLocalState(obj.ID, obj.Version, len(obj.Data), types.StateEncoded, stripeID)
-	meta := s.buildMeta(obj.ID, obj.Version, len(obj.Data), types.StateEncoded, stripeID, 0)
+	sum := scrub.Checksum(obj.Data)
+	s.setLocalState(obj.ID, obj.Version, len(obj.Data), types.StateEncoded, stripeID, sum)
+	meta := s.buildMeta(obj.ID, obj.Version, len(obj.Data), types.StateEncoded, stripeID, 0, sum)
 	if err := s.dirUpdate(ctx, meta); err != nil {
 		return err
 	}

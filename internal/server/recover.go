@@ -7,6 +7,7 @@ import (
 
 	"corec/internal/metrics"
 	"corec/internal/recovery"
+	"corec/internal/scrub"
 	"corec/internal/transport"
 	"corec/internal/types"
 )
@@ -169,6 +170,13 @@ func (s *Server) recoverReplicated(ctx context.Context, meta *types.ObjectMeta) 
 		if err != nil || resp.Kind != transport.MsgGetBytes || !resp.Flag {
 			continue
 		}
+		sum := scrub.Checksum(resp.Data)
+		// A source whose bytes fail the directory's recorded checksum has
+		// rotted at rest: skip it and try the next holder rather than
+		// propagating the corruption into the repaired copy.
+		if meta.Checksum != 0 && resp.Version == meta.Version && sum != meta.Checksum {
+			continue
+		}
 		obj := &types.Object{ID: meta.ID, Version: resp.Version, Data: resp.Data}
 		// Never clobber a newer copy installed by a concurrent write.
 		s.mu.Lock()
@@ -184,6 +192,7 @@ func (s *Server) recoverReplicated(ctx context.Context, meta *types.ObjectMeta) 
 				return false, nil
 			}
 			s.replicas[key] = obj
+			s.replicaSums[key] = sum
 		}
 		s.mu.Unlock()
 		if iAmPrimary {
@@ -192,7 +201,7 @@ func (s *Server) recoverReplicated(ctx context.Context, meta *types.ObjectMeta) 
 			stale := known && st.version > obj.Version
 			s.mu.Unlock()
 			if !stale {
-				s.setLocalState(meta.ID, resp.Version, len(resp.Data), types.StateReplicated, types.StripeID{})
+				s.setLocalState(meta.ID, resp.Version, len(resp.Data), types.StateReplicated, types.StripeID{}, sum)
 				if cls := s.decider.Classifier(); cls != nil {
 					cls.Track(meta.ID, false)
 				}
@@ -219,7 +228,7 @@ func (s *Server) recoverEncoded(ctx context.Context, meta *types.ObjectMeta) (bo
 		// Not a stripe member. If we are the primary, local bookkeeping is
 		// refreshed so transitions keep working.
 		if meta.Primary == s.id {
-			s.setLocalState(meta.ID, meta.Version, meta.Size, types.StateEncoded, meta.Stripe)
+			s.setLocalState(meta.ID, meta.Version, meta.Size, types.StateEncoded, meta.Stripe, meta.Checksum)
 		}
 		return false, nil
 	}
@@ -257,6 +266,7 @@ func (s *Server) recoverEncoded(ctx context.Context, meta *types.ObjectMeta) (bo
 	s.col.Add(metrics.Decode, time.Since(dStart))
 	s.mu.Lock()
 	s.shards[sk] = shards[myIndex]
+	s.shardSums[sk] = scrub.Checksum(shards[myIndex])
 	s.shardStripe[sk] = *info
 	s.mu.Unlock()
 	if meta.Primary == s.id {
@@ -271,7 +281,7 @@ func (s *Server) refreshEncodedBookkeeping(meta *types.ObjectMeta, info *types.S
 	stale := known && st.version >= meta.Version
 	s.mu.Unlock()
 	if !known && !stale {
-		s.setLocalState(meta.ID, meta.Version, meta.Size, types.StateEncoded, info.ID)
+		s.setLocalState(meta.ID, meta.Version, meta.Size, types.StateEncoded, info.ID, meta.Checksum)
 		if cls := s.decider.Classifier(); cls != nil {
 			cls.Track(meta.ID, true)
 		}

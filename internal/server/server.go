@@ -22,6 +22,7 @@ import (
 	"corec/internal/placement"
 	"corec/internal/policy"
 	"corec/internal/recovery"
+	"corec/internal/scrub"
 	"corec/internal/topology"
 	"corec/internal/transport"
 	"corec/internal/types"
@@ -84,6 +85,12 @@ type Server struct {
 	shards map[string][]byte
 	// shardStripe caches stripe geometry for locally held shards.
 	shardStripe map[string]types.StripeInfo
+	// replicaSums/shardSums record the content checksum each replica copy
+	// and shard payload had when it was installed — the at-rest integrity
+	// authority the scrubber verifies stored bytes against. Zero/missing
+	// means "not recorded" (backfilled by the first scrub pass).
+	replicaSums map[string]uint64
+	shardSums   map[string]uint64
 	// local tracks resilience bookkeeping for objects this server is
 	// primary for.
 	local map[string]*localState
@@ -125,6 +132,15 @@ type Server struct {
 	// pendingDrops holds superseded stripes whose shards the background
 	// worker must release (deferred off the write path).
 	pendingDrops map[string]types.StripeID
+
+	// Anti-entropy scrubber state (see scrub.go). scrubOn gates the
+	// verified-read check on the foreground get path without a lock.
+	scrubMu     sync.Mutex
+	scrubCfg    *scrub.Config
+	scrubStop   chan struct{}
+	scrubDone   chan struct{}
+	scrubOn     atomic.Bool
+	scrubPasses atomic.Int64
 }
 
 type localState struct {
@@ -133,6 +149,8 @@ type localState struct {
 	size    int
 	state   types.ResilienceState
 	stripe  types.StripeID
+	// sum is the content checksum of the primary copy (0 = not recorded).
+	sum uint64
 }
 
 // serverIncarnations distinguishes successive servers (including
@@ -184,6 +202,8 @@ func New(cfg Config) (*Server, error) {
 		replicas:    make(map[string]*types.Object),
 		shards:      make(map[string][]byte),
 		shardStripe: make(map[string]types.StripeInfo),
+		replicaSums: make(map[string]uint64),
+		shardSums:   make(map[string]uint64),
 		local:       make(map[string]*localState),
 		dir:         make(map[string]*types.ObjectMeta),
 		dirStripes:  make(map[types.StripeID]*types.StripeInfo),
@@ -359,6 +379,7 @@ func (s *Server) Close() {
 	}
 	s.closed = true
 	s.mu.Unlock()
+	s.StopScrubber()
 	if s.encStop != nil {
 		close(s.encStop)
 	}
@@ -416,6 +437,10 @@ func (s *Server) Handle(ctx context.Context, req *transport.Message) *transport.
 		return s.handleRecover(ctx, req)
 	case transport.MsgStats:
 		return s.handleStats(req)
+	case transport.MsgChecksum:
+		return s.handleChecksum(req)
+	case transport.MsgShardSum:
+		return s.handleShardSum(req)
 	default:
 		return transport.Errf("server %d: unsupported message kind %v", s.id, req.Kind)
 	}

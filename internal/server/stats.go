@@ -33,6 +33,8 @@ type Stats struct {
 	PendingEncodes int `json:"pending_encodes"`
 	// PendingRepairs is the recovery queue length (0 when not recovering).
 	PendingRepairs int `json:"pending_repairs"`
+	// ScrubPasses is the number of completed anti-entropy scrub passes.
+	ScrubPasses int64 `json:"scrub_passes"`
 }
 
 // CollectStats builds the status report.
@@ -68,6 +70,7 @@ func (s *Server) CollectStats() Stats {
 	}
 	s.mu.Unlock()
 	st.Load = s.Load()
+	st.ScrubPasses = s.ScrubPasses()
 	s.encMu.Lock()
 	st.PendingEncodes = len(s.encPending)
 	s.encMu.Unlock()

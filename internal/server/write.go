@@ -6,6 +6,7 @@ import (
 
 	"corec/internal/metrics"
 	"corec/internal/policy"
+	"corec/internal/scrub"
 	"corec/internal/transport"
 	"corec/internal/types"
 )
@@ -71,8 +72,9 @@ func (s *Server) handlePut(ctx context.Context, req *transport.Message) *transpo
 
 	switch action {
 	case policy.ActNone:
-		s.setLocalState(id, req.Version, len(req.Data), types.StateNone, types.StripeID{})
-		meta := s.buildMeta(id, req.Version, len(req.Data), types.StateNone, types.StripeID{}, 0)
+		sum := scrub.Checksum(req.Data)
+		s.setLocalState(id, req.Version, len(req.Data), types.StateNone, types.StripeID{}, sum)
+		meta := s.buildMeta(id, req.Version, len(req.Data), types.StateNone, types.StripeID{}, 0, sum)
 		if err := s.dirUpdate(ctx, meta); err != nil {
 			return transport.Errf("server %d: metadata update: %v", s.id, err)
 		}
@@ -136,6 +138,7 @@ func (s *Server) handlePut(ctx context.Context, req *transport.Message) *transpo
 // records the replicated state.
 func (s *Server) replicateObject(ctx context.Context, obj *types.Object) error {
 	targets := s.replicaHolders()
+	sum := scrub.Checksum(obj.Data)
 	start := time.Now()
 	for _, t := range targets {
 		msg := &transport.Message{
@@ -157,8 +160,8 @@ func (s *Server) replicateObject(ctx context.Context, obj *types.Object) error {
 	}
 	s.col.Add(metrics.Transport, time.Since(start))
 
-	s.setLocalState(obj.ID, obj.Version, len(obj.Data), types.StateReplicated, types.StripeID{})
-	meta := s.buildMeta(obj.ID, obj.Version, len(obj.Data), types.StateReplicated, types.StripeID{}, 0)
+	s.setLocalState(obj.ID, obj.Version, len(obj.Data), types.StateReplicated, types.StripeID{}, sum)
+	meta := s.buildMeta(obj.ID, obj.Version, len(obj.Data), types.StateReplicated, types.StripeID{}, 0, sum)
 	meta.Replicas = targets
 	if err := s.dirUpdate(ctx, meta); err != nil {
 		return err
@@ -168,7 +171,7 @@ func (s *Server) replicateObject(ctx context.Context, obj *types.Object) error {
 
 // setLocalState records bookkeeping for a primary object and maintains the
 // storage-efficiency tallies.
-func (s *Server) setLocalState(id types.ObjectID, v types.Version, size int, st types.ResilienceState, stripe types.StripeID) {
+func (s *Server) setLocalState(id types.ObjectID, v types.Version, size int, st types.ResilienceState, stripe types.StripeID, sum uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	key := id.Key()
@@ -180,7 +183,7 @@ func (s *Server) setLocalState(id types.ObjectID, v types.Version, size int, st 
 			s.dataEnc -= int64(old.size)
 		}
 	}
-	s.local[key] = &localState{id: id, version: v, size: size, state: st, stripe: stripe}
+	s.local[key] = &localState{id: id, version: v, size: size, state: st, stripe: stripe, sum: sum}
 	switch st {
 	case types.StateReplicated:
 		s.dataRepl += int64(size)
@@ -189,12 +192,13 @@ func (s *Server) setLocalState(id types.ObjectID, v types.Version, size int, st 
 	}
 }
 
-func (s *Server) buildMeta(id types.ObjectID, v types.Version, size int, st types.ResilienceState, stripe types.StripeID, shardIdx int) *types.ObjectMeta {
+func (s *Server) buildMeta(id types.ObjectID, v types.Version, size int, st types.ResilienceState, stripe types.StripeID, shardIdx int, sum uint64) *types.ObjectMeta {
 	return &types.ObjectMeta{
 		ID:         id,
 		Version:    v,
 		Size:       size,
 		State:      st,
+		Checksum:   sum,
 		Primary:    s.id,
 		Stripe:     stripe,
 		ShardIndex: shardIdx,
@@ -230,6 +234,7 @@ func (s *Server) handleDelete(ctx context.Context, req *transport.Message) *tran
 	}
 	delete(s.objects, key)
 	delete(s.replicas, key)
+	delete(s.replicaSums, key)
 	// A superseded stripe awaiting background release dies with the object.
 	var pendingDrop types.StripeID
 	hadPending := false
@@ -266,14 +271,27 @@ func (s *Server) handleDelete(ctx context.Context, req *transport.Message) *tran
 }
 
 // handleGet serves a full object copy: primary copy first, replica second.
+// With the scrubber enabled, a copy whose bytes fail their recorded checksum
+// is withheld (reported as not found) so the caller falls back to another
+// holder or a degraded stripe read instead of consuming rotted bytes; the
+// background scrub pass repairs the copy.
 func (s *Server) handleGet(req *transport.Message) *transport.Message {
 	s.mu.Lock()
 	obj, ok := s.objects[req.Key]
-	if !ok {
+	var want uint64
+	if ok {
+		if st := s.local[req.Key]; st != nil {
+			want = st.sum
+		}
+	} else {
 		obj, ok = s.replicas[req.Key]
+		want = s.replicaSums[req.Key]
 	}
 	s.mu.Unlock()
 	if !ok {
+		return &transport.Message{Kind: transport.MsgOK, Flag: false}
+	}
+	if s.scrubEnabled() && want != 0 && scrub.Checksum(obj.Data) != want {
 		return &transport.Message{Kind: transport.MsgOK, Flag: false}
 	}
 	return &transport.Message{
@@ -290,8 +308,11 @@ func (s *Server) handleObjFetch(req *transport.Message) *transport.Message {
 
 func (s *Server) handleReplicaPut(req *transport.Message) *transport.Message {
 	id := types.ObjectID{Var: req.Var, Box: req.Box}
+	key := id.Key()
+	sum := scrub.Checksum(req.Data)
 	s.mu.Lock()
-	s.replicas[id.Key()] = &types.Object{ID: id, Version: req.Version, Data: req.Data}
+	s.replicas[key] = &types.Object{ID: id, Version: req.Version, Data: req.Data}
+	s.replicaSums[key] = sum
 	s.mu.Unlock()
 	return transport.Ok()
 }
@@ -302,6 +323,7 @@ func (s *Server) handleReplicaDrop(req *transport.Message) *transport.Message {
 	// a slow encode task can never discard a newer write's replica.
 	if rep, ok := s.replicas[req.Key]; ok && (req.Version == 0 || rep.Version <= req.Version) {
 		delete(s.replicas, req.Key)
+		delete(s.replicaSums, req.Key)
 	}
 	s.mu.Unlock()
 	return transport.Ok()
@@ -309,8 +331,10 @@ func (s *Server) handleReplicaDrop(req *transport.Message) *transport.Message {
 
 func (s *Server) handleShardPut(req *transport.Message) *transport.Message {
 	sk := shardKey(req.Stripe, req.ShardIndex)
+	sum := scrub.Checksum(req.Data)
 	s.mu.Lock()
 	s.shards[sk] = req.Data
+	s.shardSums[sk] = sum
 	if req.StripeInfo != nil {
 		s.shardStripe[sk] = *req.StripeInfo
 	}
@@ -338,6 +362,7 @@ func (s *Server) handleShardDrop(req *transport.Message) *transport.Message {
 	s.mu.Lock()
 	delete(s.shards, sk)
 	delete(s.shardStripe, sk)
+	delete(s.shardSums, sk)
 	s.mu.Unlock()
 	return transport.Ok()
 }

@@ -63,6 +63,10 @@ const (
 	MsgRecover      // instruct a server to recover an object (Key)
 	MsgStats        // ask a server for its status report (JSON in Data)
 
+	// Anti-entropy plane (scrubber checksum exchange).
+	MsgChecksum // ask a holder for the live checksum of its copy of Key
+	MsgShardSum // ask a member for the live checksum of a stripe shard
+
 	kindCount // sentinel; keep last
 )
 
@@ -72,6 +76,7 @@ var kindNames = [...]string{
 	"ShardPut", "ShardGet", "ShardDrop", "ObjFetch", "EncodeDelegate",
 	"MetaUpdate", "MetaLookup", "MetaQuery", "MetaDelete", "StripeUpdate", "StripeLookup", "DirDump",
 	"TokenAcquire", "TokenRelease", "LoadQuery", "Ping", "Recover", "Stats",
+	"Checksum", "ShardSum",
 }
 
 // String implements fmt.Stringer.
@@ -105,6 +110,8 @@ type Message struct {
 	Flag bool
 	// Num is a general integer (e.g. load level).
 	Num int64
+	// Sum carries a content checksum (scrub plane responses).
+	Sum uint64
 	Err string
 }
 
@@ -134,7 +141,7 @@ func (m *Message) AsError() error {
 // to charge bandwidth. It intentionally matches the codec's framing closely
 // (exactness is not required; the dominant term is len(Data)).
 func (m *Message) WireSize() int {
-	s := 64 + len(m.Var) + len(m.Key) + len(m.Data) + len(m.Err)
+	s := 72 + len(m.Var) + len(m.Key) + len(m.Data) + len(m.Err)
 	s += 16 * m.Box.Dims()
 	if m.Meta != nil {
 		s += metaWireSize(m.Meta)
@@ -152,7 +159,7 @@ func (m *Message) WireSize() int {
 }
 
 func metaWireSize(meta *types.ObjectMeta) int {
-	return 64 + len(meta.ID.Var) + 16*meta.ID.Box.Dims() + 8*len(meta.Replicas)
+	return 72 + len(meta.ID.Var) + 16*meta.ID.Box.Dims() + 8*len(meta.Replicas)
 }
 
 // Handler processes one request and returns the response. Handlers must be

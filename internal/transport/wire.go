@@ -50,6 +50,7 @@ func (e *encoder) meta(m *types.ObjectMeta) {
 	e.i64(int64(m.Version))
 	e.u64(uint64(m.Size))
 	e.u8(uint8(m.State))
+	e.u64(m.Checksum)
 	e.i64(int64(m.Primary))
 	e.u32(uint32(len(m.Replicas)))
 	for _, r := range m.Replicas {
@@ -173,6 +174,7 @@ func (d *decoder) meta() types.ObjectMeta {
 	m.Version = types.Version(d.i64())
 	m.Size = int(d.u64())
 	m.State = types.ResilienceState(d.u8())
+	m.Checksum = d.u64()
 	m.Primary = types.ServerID(d.i64())
 	n := d.u32()
 	if n > 1<<20 {
@@ -247,6 +249,7 @@ func Encode(m *Message, dst []byte) []byte {
 	}
 	e.bool(m.Flag)
 	e.i64(m.Num)
+	e.u64(m.Sum)
 	e.str(m.Err)
 	return e.buf
 }
@@ -301,6 +304,7 @@ func Decode(buf []byte) (*Message, error) {
 	}
 	m.Flag = d.bool()
 	m.Num = d.i64()
+	m.Sum = d.u64()
 	m.Err = d.str()
 	if d.err != nil {
 		return nil, d.err

@@ -27,6 +27,7 @@ func sampleMessage() *Message {
 			Version:    12,
 			Size:       5,
 			State:      types.StateEncoded,
+			Checksum:   0xDEADBEEFCAFE0123,
 			Primary:    4,
 			Replicas:   []types.ServerID{5, 6},
 			Stripe:     types.StripeID{Group: 3, Seq: 41},
@@ -48,6 +49,7 @@ func sampleMessage() *Message {
 		},
 		Flag: true,
 		Num:  -99,
+		Sum:  0x0123456789ABCDEF,
 		Err:  "sample error",
 	}
 }
@@ -109,6 +111,7 @@ func TestEncodeDecodePropertyRandom(t *testing.T) {
 			Version: types.Version(rng.Int63n(1000)),
 			Key:     randString(rng, 30),
 			Num:     rng.Int63() - (1 << 62),
+			Sum:     rng.Uint64(),
 			Flag:    rng.Intn(2) == 0,
 			Err:     randString(rng, 20),
 		}

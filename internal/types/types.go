@@ -139,6 +139,11 @@ type ObjectMeta struct {
 	Version Version
 	Size    int
 	State   ResilienceState
+	// Checksum is the content checksum (scrub.Checksum) of the object's
+	// payload, the at-rest integrity authority the anti-entropy scrubber
+	// verifies copies against. Zero means "not recorded" (a record written
+	// before scrubbing existed); the first scrub pass backfills it.
+	Checksum uint64
 	// Primary is the server that owns the authoritative copy.
 	Primary ServerID
 	// Replicas lists servers holding full copies (excluding Primary);

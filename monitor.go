@@ -38,6 +38,11 @@ type MonitorConfig struct {
 	// AutoRecover, when set, replaces dead servers and runs recovery in
 	// the configured RecoveryMode automatically.
 	AutoRecover bool
+	// ScrubAfterRecovery, when set, runs one anti-entropy scrub pass on
+	// each replacement server after its recovery and reroute
+	// reconciliation finish, so repaired payloads are checksum-verified
+	// before the server is declared healthy again.
+	ScrubAfterRecovery bool
 	// OnEvent, when non-nil, receives detection/recovery events.
 	OnEvent func(MonitorEvent)
 }
@@ -186,6 +191,11 @@ func (m *Monitor) recover(ctx context.Context, id types.ServerID) {
 	}
 	repaired, _ := srv.RunRecovery(ctx, mode)
 	m.reconcileReroutes(ctx, id)
+	if m.cfg.ScrubAfterRecovery {
+		// Best-effort: a failed pass (context cancelled, fabric flapping)
+		// leaves the payloads for the background scrubber's next cycle.
+		_, _ = srv.ScrubOnce(ctx)
+	}
 	m.mu.Lock()
 	delete(m.dead, id)
 	m.suspects[id] = 0

@@ -1,0 +1,72 @@
+package corec_test
+
+import (
+	"context"
+	"sort"
+	"testing"
+	"time"
+
+	"corec"
+	"corec/internal/scrub"
+)
+
+// BenchmarkForegroundWithScrubber measures the put/get foreground path with
+// the background scrubber off and on at an aggressive interval, reporting
+// p50/p99 per-op latency. The acceptance bar for the anti-entropy subsystem
+// is that the two runs' p99 stay in the same band: the token bucket and the
+// charge-before-lock discipline keep scan work off the request path.
+func BenchmarkForegroundWithScrubber(b *testing.B) {
+	for _, bc := range []struct {
+		name  string
+		scrub *corec.ScrubConfig
+	}{
+		{"scrub-off", nil},
+		{"scrub-on", &corec.ScrubConfig{Interval: 2 * time.Millisecond, Depth: scrub.DepthStripe}},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			cfg := corec.DefaultConfig(8)
+			cfg.Mode = corec.PolicyCoREC
+			cfg.Seed = 7
+			cfg.Scrub = bc.scrub
+			c, err := corec.NewCluster(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer c.Close()
+			cl := c.NewClient()
+			ctx := context.Background()
+			box := corec.Box3D(0, 0, 0, 8, 8, 8)
+			data := make([]byte, box.Volume()*8)
+			// Populate cold data so scrub passes have stripes and replicas
+			// to walk while the foreground loop runs.
+			for i := int64(0); i < 16; i++ {
+				bg := corec.Box3D(64+i*8, 0, 0, 64+i*8+8, 8, 8)
+				bgData := make([]byte, bg.Volume()*8)
+				if err := cl.Put(ctx, "cold", bg, 1, bgData); err != nil {
+					b.Fatal(err)
+				}
+			}
+			c.EndTimeStep(1)
+
+			lat := make([]time.Duration, 0, b.N)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				v := corec.Version(i + 2)
+				start := time.Now()
+				if err := cl.Put(ctx, "hot", box, v, data); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := cl.Get(ctx, "hot", box, v); err != nil {
+					b.Fatal(err)
+				}
+				lat = append(lat, time.Since(start))
+			}
+			b.StopTimer()
+			sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+			if len(lat) > 0 {
+				b.ReportMetric(float64(lat[len(lat)/2].Nanoseconds()), "p50-ns")
+				b.ReportMetric(float64(lat[len(lat)*99/100].Nanoseconds()), "p99-ns")
+			}
+		})
+	}
+}

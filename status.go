@@ -64,6 +64,32 @@ type FabricStatus struct {
 	PendingReroutes int
 	// Injected reports the fault injector's counters; zero without a plan.
 	Injected transport.FaultStats
+	// Scrub reports the anti-entropy scrubber's cumulative counters.
+	Scrub ScrubStatus
+}
+
+// ScrubStatus aggregates the anti-entropy scrubber's counters across the
+// cluster: payloads verified, at-rest corruption found and repaired,
+// stripes re-encoded, and legacy records backfilled with checksums.
+type ScrubStatus struct {
+	// Scans is the number of payloads checksum-verified.
+	Scans int64
+	// Bytes is the total volume verified (what the token bucket paces).
+	Bytes int64
+	// Corruptions is the number of at-rest checksum mismatches detected.
+	Corruptions int64
+	// Repairs is the number of corrupt or divergent copies restored from a
+	// healthy replica or by stripe reconstruction.
+	Repairs int64
+	// Reencodes is the number of under-protected stripes brought back to
+	// full k+m width.
+	Reencodes int64
+	// Backfills is the number of pre-scrub objects that had checksums
+	// computed and recorded on first encounter.
+	Backfills int64
+	// Skips is the number of payloads passed over because a peer needed
+	// for verification was unreachable.
+	Skips int64
 }
 
 // FabricStatus reports the cluster's fault-tolerance counters.
@@ -76,6 +102,15 @@ func (c *Cluster) FabricStatus() FabricStatus {
 		Faults:          c.col.Counter(metrics.FaultCount),
 		MirrorRepairs:   c.col.Counter(metrics.MirrorRepairCount),
 		PendingReroutes: len(c.Reroutes()),
+		Scrub: ScrubStatus{
+			Scans:       c.col.Counter(metrics.ScrubScanCount),
+			Bytes:       c.col.Counter(metrics.ScrubByteCount),
+			Corruptions: c.col.Counter(metrics.ScrubCorruptionCount),
+			Repairs:     c.col.Counter(metrics.ScrubRepairCount),
+			Reencodes:   c.col.Counter(metrics.ScrubReencodeCount),
+			Backfills:   c.col.Counter(metrics.ScrubBackfillCount),
+			Skips:       c.col.Counter(metrics.ScrubSkipCount),
+		},
 	}
 	if c.faults != nil {
 		st.Injected = c.faults.Stats()

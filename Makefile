@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck test race short scrubrace bench ci clean
+.PHONY: all build vet staticcheck lint test race short scrubrace bench ci clean
 
 all: ci
 
@@ -19,8 +19,14 @@ staticcheck:
 		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
 	fi
 
+# Project invariant analyzers (locksafe, wiremsg, detrand, droppederr,
+# mapsort). Stdlib-only and offline — unlike staticcheck this is never
+# skipped; see DESIGN.md "Enforced invariants".
+lint:
+	$(GO) run ./cmd/corec-lint ./...
+
 test:
-	$(GO) test ./...
+	$(GO) test -vet=all ./...
 
 # Race-enabled run of the fast suite; the chaos/stochastic tests skip
 # themselves under -short.
@@ -39,7 +45,7 @@ scrubrace:
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
 
-ci: vet staticcheck build race scrubrace test
+ci: vet staticcheck lint build race scrubrace test
 
 clean:
 	$(GO) clean ./...

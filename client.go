@@ -455,7 +455,8 @@ func (cl *Client) triggerOnAccessRepair(ctx context.Context, info *types.StripeI
 		}
 		member := member
 		go func() {
-			c.net.Send(context.Background(), cl.id, member.Server, //nolint:errcheck
+			// Fire-and-forget nudge: the next read retries repair anyway.
+			_, _ = c.net.Send(context.Background(), cl.id, member.Server,
 				&transport.Message{Kind: transport.MsgRecover, Key: key})
 		}()
 	}

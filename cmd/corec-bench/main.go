@@ -13,6 +13,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"time"
@@ -59,7 +60,7 @@ func writeCSV(dir, name string, f func(*os.File) error) error {
 }
 
 func run(experiment string, quick bool, csvDir string) error {
-	out := os.Stdout
+	var out io.Writer = os.Stdout
 	switch experiment {
 	case "table1":
 		fmt.Fprint(out, harness.TableIDescription())

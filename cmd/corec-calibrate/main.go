@@ -45,7 +45,7 @@ func run(size, k, m, iters int) error {
 	})
 	ctx := context.Background()
 	l := measure(iters, func() {
-		net.Send(ctx, -1, 0, &transport.Message{Kind: transport.MsgPing}) //nolint:errcheck
+		_, _ = net.Send(ctx, -1, 0, &transport.Message{Kind: transport.MsgPing}) // timing probe: only the elapsed time matters
 	})
 
 	// 2. Streaming transfer cost (c): move one object through the fabric.
@@ -55,7 +55,7 @@ func run(size, k, m, iters int) error {
 		return transport.Ok()
 	})
 	c := measure(iters, func() {
-		net.Send(ctx, -1, 1, &transport.Message{Kind: transport.MsgReplicaPut, Data: payload}) //nolint:errcheck
+		_, _ = net.Send(ctx, -1, 1, &transport.Message{Kind: transport.MsgReplicaPut, Data: payload}) // timing probe: only the elapsed time matters
 	}) - l
 	if c < 0 {
 		c = 0
@@ -69,7 +69,7 @@ func run(size, k, m, iters int) error {
 	}
 	shards, _ := codec.Split(payload)
 	enc := measure(iters, func() {
-		codec.Encode(shards) //nolint:errcheck
+		_ = codec.Encode(shards) // shard geometry fixed by Split; cannot fail
 	})
 
 	// 4. Decode (reconstruction) cost for one lost data shard.
@@ -77,7 +77,7 @@ func run(size, k, m, iters int) error {
 		lossy := make([][]byte, len(shards))
 		copy(lossy, shards)
 		lossy[0] = nil
-		codec.Reconstruct(lossy) //nolint:errcheck
+		_ = codec.Reconstruct(lossy) // one loss with m parity shards always decodes
 	})
 
 	// 5. End-to-end staged write for context: one put through a live
@@ -97,7 +97,7 @@ func run(size, k, m, iters int) error {
 	box := corec.Box3D(0, 0, 0, edge, edge, edge)
 	buf := make([]byte, ndarray.BufferSize(box, 8))
 	put := measureN(iters, func(i int) {
-		client.Put(ctx, "cal", box, corec.Version(i+1), buf) //nolint:errcheck
+		_ = client.Put(ctx, "cal", box, corec.Version(i+1), buf) // healthy cluster; timing probe
 	})
 
 	alpha := float64(enc-c-l) / float64(m*k)

@@ -61,7 +61,7 @@ func main() {
 	payload := sub.String("data", "", "payload for put")
 	length := sub.Int64("len", 0, "length for get")
 	version := sub.Int64("version", 1, "data version (time step)")
-	sub.Parse(args[1:]) //nolint:errcheck
+	_ = sub.Parse(args[1:]) // ExitOnError: Parse never returns an error
 
 	switch args[0] {
 	case "put":

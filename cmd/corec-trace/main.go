@@ -48,7 +48,7 @@ func record(args []string) error {
 	block := fs.Int64("block", 16, "cubic block edge length")
 	steps := fs.Int("steps", 20, "time steps")
 	seed := fs.Int64("seed", 42, "workload seed")
-	fs.Parse(args) //nolint:errcheck
+	_ = fs.Parse(args) // ExitOnError: Parse never returns an error
 
 	pattern, err := workload.ParsePattern(*patternName)
 	if err != nil {
@@ -91,7 +91,7 @@ func replay(args []string) error {
 	servers := fs.Int("servers", 8, "staging servers")
 	writers := fs.Int("writers", 8, "parallel writer ranks")
 	readers := fs.Int("readers", 4, "parallel reader ranks")
-	fs.Parse(args) //nolint:errcheck
+	_ = fs.Parse(args) // ExitOnError: Parse never returns an error
 
 	mode, err := policy.ParseMode(*modeName)
 	if err != nil {
@@ -102,7 +102,7 @@ func replay(args []string) error {
 		return err
 	}
 	records, err := trace.Read(f)
-	f.Close()
+	_ = f.Close() // opened read-only; nothing to flush
 	if err != nil {
 		return err
 	}

@@ -25,6 +25,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
@@ -762,9 +763,15 @@ func (c *Cluster) StorageReport() StorageReport {
 // coordinated checkpoint would write (satisfies checkpoint.Snapshotter).
 func (c *Cluster) ServerBytes() [][]byte {
 	c.mu.Lock()
-	servers := make([]*server.Server, 0, len(c.servers))
-	for _, s := range c.servers {
-		servers = append(servers, s)
+	// ID order, not map order: checkpoint streams must line up run-to-run.
+	ids := make([]types.ServerID, 0, len(c.servers))
+	for id := range c.servers {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	servers := make([]*server.Server, 0, len(ids))
+	for _, id := range ids {
+		servers = append(servers, c.servers[id])
 	}
 	c.mu.Unlock()
 	out := make([][]byte, len(servers))

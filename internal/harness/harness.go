@@ -182,7 +182,7 @@ func (a *clusterAdapter) Recover(id types.ServerID) {
 	a.wg.Add(1)
 	go func() {
 		defer a.wg.Done()
-		srv.RunRecovery(context.Background(), a.mode) //nolint:errcheck
+		_, _ = srv.RunRecovery(context.Background(), a.mode) // best-effort: unrecovered objects surface in the read-back check
 	}()
 }
 
@@ -365,7 +365,9 @@ func runWrites(c *corec.Cluster, writers []*corec.Client, varName string, step w
 				box := step.Writes[i]
 				buf := make([]byte, ndarray.BufferSize(box, opts.ElemSize))
 				rng.Read(buf)
-				writers[w].Put(context.Background(), varName, box, step.TS, buf) //nolint:errcheck
+				// Chaos runs expect some writes to fail mid-crash; losses
+				// show up in the degraded-read measurements.
+				_ = writers[w].Put(context.Background(), varName, box, step.TS, buf)
 			}
 		}(w)
 	}

@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Droppederr flags calls whose error result is silently discarded in
+// non-test code. A dropped error on the write or recovery path is how a
+// replica push that never landed turns into a stale read three failures
+// later. The sanctioned idioms are: handle the error, or discard it
+// explicitly with a blank assignment (`_ = f()` / `_, _ = f()`) next to a
+// comment saying why — the blank assignment is visible in review and
+// grep-able, an unassigned call is neither.
+//
+// Only expression statements are flagged. Blank assignments are the
+// explicit discard idiom; defer/go statements follow different cleanup
+// conventions and are left to review.
+//
+// Files named *_test.go are exempt: tests discard errors of arranged
+// failures all the time, and the signal-to-noise there is poor.
+type Droppederr struct{}
+
+// Name implements Analyzer.
+func (Droppederr) Name() string { return "droppederr" }
+
+// Doc implements Analyzer.
+func (Droppederr) Doc() string {
+	return "no silently discarded error returns in non-test code"
+}
+
+// droppederrSafe lists callees whose error results never carry information
+// worth handling (writes to in-memory sinks, stdout/stderr prints).
+// Matching is on the funcPath rendering; receiver entries cover all methods
+// of the type.
+var droppederrSafe = map[string]bool{
+	"fmt.Print":   true,
+	"fmt.Printf":  true,
+	"fmt.Println": true,
+}
+
+// droppederrSafeRecv lists receiver types all of whose error-returning
+// methods are safe to drop: in-memory sinks cannot fail, (*rand.Rand).Read
+// is documented to always succeed, and tabwriter is only ever a
+// human-readable report formatter here.
+var droppederrSafeRecv = map[string]bool{
+	"*bytes.Buffer":          true,
+	"bytes.Buffer":           true,
+	"*strings.Builder":       true,
+	"strings.Builder":        true,
+	"*math/rand.Rand":        true,
+	"*text/tabwriter.Writer": true,
+	// hash.Hash documents that Write never returns an error.
+	"hash.Hash":   true,
+	"hash.Hash32": true,
+	"hash.Hash64": true,
+}
+
+// Run implements Analyzer.
+func (Droppederr) Run(prog *Program) []Diagnostic {
+	var diags []Diagnostic
+	for _, pkg := range prog.Packages {
+		for _, f := range pkg.Files {
+			file := prog.Fset.Position(f.Pos()).Filename
+			if strings.HasSuffix(file, "_test.go") {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				es, ok := n.(*ast.ExprStmt)
+				if !ok {
+					return true
+				}
+				call, ok := es.X.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if !returnsError(pkg.Info, call) {
+					return true
+				}
+				if d, ok := droppedErrDiag(pkg, call); ok {
+					diags = append(diags, d)
+				}
+				return true
+			})
+		}
+	}
+	return diags
+}
+
+func droppedErrDiag(pkg *Package, call *ast.CallExpr) (Diagnostic, bool) {
+	name := "call"
+	if f := calleeFunc(pkg.Info, call); f != nil {
+		path := funcPath(f)
+		if droppederrSafe[path] {
+			return Diagnostic{}, false
+		}
+		if droppederrSafeRecv[recvTypeString(pkg, call, f)] {
+			return Diagnostic{}, false
+		}
+		if isSafeFprint(pkg, f, call) {
+			return Diagnostic{}, false
+		}
+		name = shortFuncName(f)
+	} else {
+		name = exprString(ast.Unparen(call.Fun))
+	}
+	return Diagnostic{
+		Pos:      call.Pos(),
+		Analyzer: "droppederr",
+		Message:  fmt.Sprintf("error result of %s is silently discarded: handle it or assign to _ with a reason", name),
+	}, true
+}
+
+// isSafeFprint allows fmt.Fprint* except when the destination is a concrete
+// file other than the std streams: report formatters write to injected
+// io.Writers and terminals, where a failed print is not actionable, but a
+// print into an *os.File is producing an artifact whose write errors must
+// not vanish.
+func isSafeFprint(pkg *Package, f *types.Func, call *ast.CallExpr) bool {
+	if f.Pkg() == nil || f.Pkg().Path() != "fmt" || !strings.HasPrefix(f.Name(), "Fprint") {
+		return false
+	}
+	if len(call.Args) == 0 {
+		return false
+	}
+	w := ast.Unparen(call.Args[0])
+	tv, ok := pkg.Info.Types[w]
+	if !ok {
+		return false
+	}
+	if !typeIs(tv.Type, "os", "File") {
+		return true // interface writer, buffer, tabwriter, ...
+	}
+	sel, ok := w.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj, ok := pkg.Info.Uses[sel.Sel].(*types.Var)
+	if !ok || obj.Pkg() == nil || obj.Pkg().Path() != "os" {
+		return false
+	}
+	return obj.Name() == "Stdout" || obj.Name() == "Stderr"
+}
+
+// recvTypeString returns the static receiver type at the call site (which,
+// unlike the method's declared receiver, reflects the interface the caller
+// holds — e.g. hash.Hash64 rather than io.Writer for an embedded Write).
+func recvTypeString(pkg *Package, call *ast.CallExpr, f *types.Func) string {
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if s, ok := pkg.Info.Selections[sel]; ok {
+			return s.Recv().String()
+		}
+	}
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return sig.Recv().Type().String()
+	}
+	return ""
+}
+
+// shortFuncName renders "pkg.Func" or "Type.Method" for diagnostics.
+func shortFuncName(f *types.Func) string {
+	if sig, ok := f.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type().String()
+		if i := strings.LastIndexAny(t, "./"); i >= 0 {
+			t = t[i+1:]
+		}
+		return t + "." + f.Name()
+	}
+	if f.Pkg() != nil {
+		return f.Pkg().Name() + "." + f.Name()
+	}
+	return f.Name()
+}

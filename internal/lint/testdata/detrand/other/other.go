@@ -1,0 +1,8 @@
+// Package other is outside the deterministic scope: nothing here may be
+// flagged.
+package other
+
+import "time"
+
+// Stamp reads the wall clock, which is fine outside deterministic packages.
+func Stamp() int64 { return time.Now().UnixNano() }

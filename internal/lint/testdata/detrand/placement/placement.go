@@ -1,0 +1,37 @@
+// Package placement exercises detrand inside its scope: global rand,
+// wall-clock seeds and raw clock reads are flagged; injected generators and
+// explicit seeds are not.
+package placement
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+func pick(n int) int {
+	return rand.Intn(n) // want `global rand.Intn draws from the process-wide source`
+}
+
+func pickV2(n int) int {
+	return randv2.IntN(n) // want `global rand.IntN draws from the process-wide source`
+}
+
+func wallSeed() *rand.Rand {
+	// Both the wall-clock seed and the raw clock read are flagged.
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `rand.New seeded from the wall clock` `raw time.Now\(\) in a deterministic package`
+}
+
+func stamp() int64 {
+	return time.Now().UnixNano() // want `raw time.Now\(\) in a deterministic package`
+}
+
+// --- negatives ---
+
+func injected(rng *rand.Rand, n int) int {
+	return rng.Intn(n) // ok: method on an injected generator
+}
+
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed)) // ok: explicit seed
+}

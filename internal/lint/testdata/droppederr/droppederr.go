@@ -1,0 +1,36 @@
+// Package droppederr exercises the dropped-error analyzer: bare calls
+// discarding error results are flagged, explicit blank assignments and the
+// safe print/sink calls are not.
+package droppederr
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func mayFail() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+func bad(f *os.File) {
+	mayFail()           // want `error result of droppederr.mayFail is silently discarded`
+	pair()              // want `error result of droppederr.pair is silently discarded`
+	fmt.Fprintf(f, "x") // want `error result of fmt.Fprintf is silently discarded`
+	f.Close()           // want `error result of File.Close is silently discarded`
+}
+
+// --- negatives ---
+
+func good(w *strings.Builder) {
+	if err := mayFail(); err != nil {
+		return
+	}
+	_ = mayFail() // explicit discard is the sanctioned idiom
+	_, _ = pair()
+	fmt.Println("status")        // stdout print: never flagged
+	fmt.Fprintf(w, "x")          // in-memory sink
+	fmt.Fprintln(os.Stderr, "x") // std stream
+	w.WriteString("x")           // safe receiver
+}

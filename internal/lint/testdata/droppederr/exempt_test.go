@@ -1,0 +1,8 @@
+package droppederr
+
+// Files named *_test.go are exempt: tests discard errors of arranged
+// failures all the time. Nothing here may be flagged.
+func exercise() {
+	mayFail()
+	pair()
+}

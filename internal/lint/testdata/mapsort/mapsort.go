@@ -1,0 +1,72 @@
+// Package mapsort exercises the map-iteration-order analyzer: accumulated
+// slices escaping without a sort are flagged; sorted or purely local
+// accumulations are not.
+package mapsort
+
+import "sort"
+
+func returned(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `keys accumulates map-iteration order and is returned`
+	}
+	return keys
+}
+
+type resp struct{ Items []string }
+
+func intoField(m map[string]int, r *resp) {
+	for k := range m {
+		r.Items = append(r.Items, k) // want `r\.Items accumulates map-iteration order and is stored in a field`
+	}
+}
+
+func passed(m map[string]int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `keys accumulates map-iteration order and is passed to a call`
+	}
+	sink(keys)
+}
+
+func sink([]string) {}
+
+func sent(m map[string]int, ch chan []string) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `keys accumulates map-iteration order and is sent on a channel`
+	}
+	ch <- keys
+}
+
+// --- negatives ---
+
+func sorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// sortKeys is a project-style in-place sort helper, recognized by name.
+func sortKeys(s []string) { sort.Strings(s) }
+
+func helperSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	return keys
+}
+
+func staysLocal(m map[string]int) int {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	n := len(keys)
+	return n
+}

@@ -1,0 +1,30 @@
+// Package placement (suppress fixture) exercises //lint:ignore handling
+// through the full Run path: matched directives silence exactly one
+// diagnostic, stale and malformed directives are themselves reported.
+package placement
+
+import "time"
+
+func suppressedAbove() int64 {
+	//lint:ignore detrand fixture: clock injection not needed here
+	return time.Now().UnixNano()
+}
+
+func suppressedInline() int64 {
+	return time.Now().UnixNano() //lint:ignore detrand fixture: same-line form
+}
+
+func unsuppressed() int64 {
+	return time.Now().UnixNano() // want `raw time.Now\(\) in a deterministic package`
+}
+
+// want+1 `//lint:ignore detrand suppresses no diagnostic; remove it`
+//lint:ignore detrand nothing on the next line is flagged
+
+var quiet = 1
+
+// want+1 `names unknown analyzer "nosuchpass"`
+//lint:ignore nosuchpass this analyzer does not exist
+
+// want+1 `malformed //lint:ignore directive`
+//lint:ignore detrand

@@ -1,0 +1,17 @@
+// Package server is the wiremsg fixture dispatcher: its Handle switch
+// covers MsgPing but not MsgDrop.
+package server
+
+import "wiremsg/transport"
+
+// Server dispatches fixture messages.
+type Server struct{}
+
+// Handle is the dispatch entry point the analyzer anchors on.
+func (s *Server) Handle(req *transport.Message) *transport.Message {
+	switch req.Kind {
+	case transport.MsgPing:
+		return &transport.Message{Kind: transport.MsgOK}
+	}
+	return &transport.Message{Kind: transport.MsgErr}
+}

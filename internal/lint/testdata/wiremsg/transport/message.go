@@ -1,0 +1,47 @@
+// Package transport is the wiremsg fixture protocol: a Kind enum with one
+// missing dispatch case, a kindNames array that is both short and
+// misspelled, and a codec that forgets a Message field in Decode.
+package transport
+
+// Kind enumerates fixture message types.
+type Kind uint8
+
+const (
+	MsgOK Kind = iota
+	MsgErr
+	MsgPing
+	MsgDrop // want `message kind MsgDrop has no case in the server Handle dispatch switch`
+	MsgGetBytes
+	kindCount // sentinel; keep last
+)
+
+var kindNames = [...]string{ // want `kindNames has 4 entries but kindCount is 5`
+	"OK", "Err", "Ping",
+	"Dropp", // want `kindNames\[3\] is "Dropp" but the constant at value 3 is MsgDrop \(want "Drop"\)`
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string { return kindNames[k] }
+
+// Message is the fixture wire struct.
+type Message struct {
+	Kind Kind
+	Key  string
+	Data []byte
+}
+
+// Encode covers every field.
+func Encode(m *Message, buf []byte) []byte {
+	buf = append(buf, byte(m.Kind))
+	buf = append(buf, m.Key...)
+	buf = append(buf, m.Data...)
+	return buf
+}
+
+// Decode forgets the Data field.
+func Decode(buf []byte) (*Message, error) { // want `Message field Data is not referenced in Decode`
+	m := &Message{}
+	m.Kind = Kind(buf[0])
+	m.Key = string(buf[1:])
+	return m, nil
+}

@@ -3,6 +3,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"sort"
 	"time"
 
 	"corec/internal/metrics"
@@ -57,7 +58,10 @@ func (s *Server) handleMetaQuery(req *transport.Message) *transport.Message {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	resp := &transport.Message{Kind: transport.MsgOK}
-	for _, m := range s.dir {
+	// Key order, not map order: query responses are wire output and must
+	// be byte-identical across runs.
+	for _, k := range sortedKeys(s.dir) {
+		m := s.dir[k]
 		if m.ID.Var != req.Var {
 			continue
 		}
@@ -107,14 +111,23 @@ func (s *Server) handleDirDump(req *transport.Message) *transport.Message {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	resp := &transport.Message{Kind: transport.MsgOK}
-	for _, m := range s.dir {
-		resp.Metas = append(resp.Metas, *m.Clone())
+	// Dumps feed recovery work lists and tests; emit them in key order so
+	// the stream is deterministic.
+	for _, k := range sortedKeys(s.dir) {
+		resp.Metas = append(resp.Metas, *s.dir[k].Clone())
 	}
 	for _, info := range s.dirStripes {
 		cp := *info
 		cp.Members = append([]types.StripeMember(nil), info.Members...)
 		resp.Stripes = append(resp.Stripes, cp)
 	}
+	sort.Slice(resp.Stripes, func(i, j int) bool {
+		a, b := resp.Stripes[i].ID, resp.Stripes[j].ID
+		if a.Group != b.Group {
+			return a.Group < b.Group
+		}
+		return a.Seq < b.Seq
+	})
 	return resp
 }
 

@@ -144,7 +144,7 @@ func (s *Server) encodeObject(ctx context.Context, obj *types.Object, reuse type
 		tStart := time.Now()
 		for _, t := range s.replicaHolders() {
 			msg := &transport.Message{Kind: transport.MsgReplicaDrop, Key: key, Version: obj.Version}
-			s.sendRetry(ctx, t, msg) //nolint:errcheck // dead holder needs no drop
+			_, _ = s.sendRetry(ctx, t, msg) // dead holder needs no drop
 		}
 		s.col.Add(metrics.Transport, time.Since(tStart))
 	}
@@ -280,7 +280,7 @@ func (s *Server) dropStripeMembers(ctx context.Context, info *types.StripeInfo) 
 			s.handleShardDrop(msg)
 			continue
 		}
-		s.sendRetry(ctx, member.Server, msg) //nolint:errcheck // dead member holds nothing
+		_, _ = s.sendRetry(ctx, member.Server, msg) // dead member holds nothing
 	}
 	s.col.Add(metrics.Transport, time.Since(start))
 }

@@ -98,7 +98,7 @@ func (s *Server) scrubLoop(interval time.Duration, stop, done chan struct{}) {
 		case <-stop:
 			return
 		case <-t.C:
-			s.ScrubOnce(ctx) //nolint:errcheck // loop passes are best-effort
+			_, _ = s.ScrubOnce(ctx) // loop passes are best-effort
 		}
 	}
 }
@@ -281,7 +281,7 @@ func (s *Server) backfillPrimary(ctx context.Context, key string, obj *types.Obj
 	// remote verifiers and future recoveries agree on it.
 	if meta, ok := s.dirLookupMeta(ctx, key); ok && meta.Checksum == 0 && meta.Version == obj.Version {
 		meta.Checksum = got
-		s.dirUpdate(ctx, meta) //nolint:errcheck // survivors serve until the next flush
+		_ = s.dirUpdate(ctx, meta) // survivors serve until the next flush
 	}
 }
 

@@ -328,7 +328,9 @@ func (s *Server) processEncode(key string) {
 			}
 		}
 	}
-	s.encodeObject(context.Background(), obj, types.StripeID{}, true) //nolint:errcheck
+	// A failed demotion leaves the object replicated: safe, retried on
+	// the next classification pass.
+	_ = s.encodeObject(context.Background(), obj, types.StripeID{}, true)
 }
 
 // internalRetry is the bounded resend policy for server-to-server traffic.
@@ -489,15 +491,17 @@ func (s *Server) SerializeStore() []byte {
 	for _, b := range s.shards {
 		total += len(b)
 	}
+	// Key order, not map order: a checkpoint stream must be byte-identical
+	// for identical store contents.
 	out := make([]byte, 0, total)
-	for _, o := range s.objects {
-		out = append(out, o.Data...)
+	for _, k := range sortedKeys(s.objects) {
+		out = append(out, s.objects[k].Data...)
 	}
-	for _, o := range s.replicas {
-		out = append(out, o.Data...)
+	for _, k := range sortedKeys(s.replicas) {
+		out = append(out, s.replicas[k].Data...)
 	}
-	for _, b := range s.shards {
-		out = append(out, b...)
+	for _, k := range sortedKeys(s.shards) {
+		out = append(out, s.shards[k]...)
 	}
 	return out
 }

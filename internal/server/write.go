@@ -256,13 +256,15 @@ func (s *Server) handleDelete(ctx context.Context, req *transport.Message) *tran
 	} else {
 		tStart := time.Now()
 		for _, t := range s.replicaHolders() {
-			s.sendRetry(ctx, t, &transport.Message{Kind: transport.MsgReplicaDrop, Key: key}) //nolint:errcheck
+			// Dead holder needs no drop; the scrubber reaps orphans.
+			_, _ = s.sendRetry(ctx, t, &transport.Message{Kind: transport.MsgReplicaDrop, Key: key})
 		}
 		s.col.Add(metrics.Transport, time.Since(tStart))
 	}
 	// Remove the directory records.
 	mStart := time.Now()
-	s.sendToGroup(ctx, s.dirGroup(key), &transport.Message{Kind: transport.MsgMetaDelete, Key: key}) //nolint:errcheck
+	// Unreached directory members resync via anti-entropy.
+	_ = s.sendToGroup(ctx, s.dirGroup(key), &transport.Message{Kind: transport.MsgMetaDelete, Key: key})
 	s.col.Add(metrics.Metadata, time.Since(mStart))
 	if cls := s.decider.Classifier(); cls != nil {
 		cls.Forget(id)
@@ -416,7 +418,8 @@ func (s *Server) acquireToken(ctx context.Context) (release func()) {
 				if leader == s.id {
 					s.handleTokenRelease(rel)
 				} else {
-					s.sendRetry(context.Background(), leader, rel) //nolint:errcheck
+					// Lost release: the leader's token lease expires.
+					_, _ = s.sendRetry(context.Background(), leader, rel)
 				}
 			}
 		}

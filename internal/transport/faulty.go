@@ -26,10 +26,10 @@ import (
 type FaultyNetwork struct {
 	inner Network
 
-	mu    sync.Mutex
-	rng   *rand.Rand
-	plan  failure.FaultPlan
-	step  types.Version
+	mu   sync.Mutex
+	rng  *rand.Rand
+	plan failure.FaultPlan
+	step types.Version
 	// manual holds partitions installed at runtime (transient partitions a
 	// test opens and heals around a scenario), keyed by handle.
 	manual map[int]failure.Partition
@@ -220,7 +220,7 @@ func (f *FaultyNetwork) Send(ctx context.Context, from, to types.ServerID, req *
 		// reorderings a TCP stream cannot produce (e.g. a stale
 		// metadata update clobbering a newer same-version record).
 		cp := *req
-		f.inner.Send(ctx, from, to, &cp) //nolint:errcheck
+		_, _ = f.inner.Send(ctx, from, to, &cp) // injected duplicate: its outcome must stay invisible
 	}
 	return f.inner.Send(ctx, from, to, req)
 }

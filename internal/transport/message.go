@@ -31,7 +31,6 @@ const (
 	// Client data plane.
 	MsgPut      // store an object (Var, Box, Version, Data)
 	MsgGet      // fetch an object by exact identity (Var, Box, Version)
-	MsgQuery    // directory query: all objects of Var intersecting Box at Version
 	MsgGetBytes // response carrier: Data holds the payload
 	MsgDelete   // evict an object: drop copies, shards and metadata (Key)
 
@@ -71,7 +70,7 @@ const (
 )
 
 var kindNames = [...]string{
-	"OK", "Err", "Put", "Get", "Query", "GetBytes", "Delete",
+	"OK", "Err", "Put", "Get", "GetBytes", "Delete",
 	"ReplicaPut", "ReplicaDrop",
 	"ShardPut", "ShardGet", "ShardDrop", "ObjFetch", "EncodeDelegate",
 	"MetaUpdate", "MetaLookup", "MetaQuery", "MetaDelete", "StripeUpdate", "StripeLookup", "DirDump",

@@ -126,7 +126,7 @@ func (s *TCPServer) acceptLoop() {
 		s.mu.Lock()
 		if s.closed {
 			s.mu.Unlock()
-			conn.Close()
+			_ = conn.Close() // raced with Close; connection was never served
 			return
 		}
 		s.conns[conn] = struct{}{}
@@ -139,7 +139,7 @@ func (s *TCPServer) acceptLoop() {
 func (s *TCPServer) serveConn(conn net.Conn) {
 	defer s.wg.Done()
 	defer func() {
-		conn.Close()
+		_ = conn.Close() // nothing to flush on a request/response stream
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
@@ -179,7 +179,7 @@ func (s *TCPServer) Close() error {
 	s.closed = true
 	err := s.listener.Close()
 	for c := range s.conns {
-		c.Close()
+		_ = c.Close() // serveConn exits on the closed conn; listener error is the one reported
 	}
 	s.mu.Unlock()
 	s.wg.Wait()
@@ -226,7 +226,7 @@ func (n *TCPNetwork) Register(id types.ServerID, h Handler) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if old, ok := n.servers[id]; ok {
-		old.Close()
+		_ = old.Close() // replaced server; its listener error has no consumer
 	}
 	n.servers[id] = srv
 	n.addrs[id] = srv.Addr()
@@ -266,13 +266,13 @@ func (n *TCPNetwork) Unregister(id types.ServerID) {
 	n.dropPoolLocked(id)
 	n.mu.Unlock()
 	if srv != nil {
-		srv.Close()
+		_ = srv.Close() // unregistering; the server is gone either way
 	}
 }
 
 func (n *TCPNetwork) dropPoolLocked(id types.ServerID) {
 	for _, c := range n.pool[id] {
-		c.Close()
+		_ = c.Close() // idle pooled conns; nothing in flight
 	}
 	delete(n.pool, id)
 }
@@ -317,7 +317,7 @@ func (n *TCPNetwork) putConn(to types.ServerID, c net.Conn) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if _, ok := n.addrs[to]; !ok || len(n.pool[to]) >= 8 {
-		c.Close()
+		_ = c.Close() // pool full or destination gone; drop the spare conn
 		return
 	}
 	n.pool[to] = append(n.pool[to], c)
@@ -353,14 +353,16 @@ func (n *TCPNetwork) Send(ctx context.Context, from, to types.ServerID, req *Mes
 // exchange runs one request/response on the connection, returning it to the
 // pool on success and closing it on failure.
 func (n *TCPNetwork) exchange(ctx context.Context, conn net.Conn, to types.ServerID, req *Message) (*Message, error) {
+	// A failed SetDeadline means the conn is already dead; the exchange
+	// below fails and reports it.
 	if dl, ok := ctx.Deadline(); ok {
-		conn.SetDeadline(dl)
+		_ = conn.SetDeadline(dl)
 	} else {
-		conn.SetDeadline(time.Time{})
+		_ = conn.SetDeadline(time.Time{})
 	}
 	resp, err := n.send(conn, req)
 	if err != nil {
-		conn.Close()
+		_ = conn.Close() // exchange failed; the request error is the one reported
 		return nil, err
 	}
 	n.putConn(to, conn)
@@ -392,6 +394,6 @@ func (n *TCPNetwork) Close() {
 	n.addrs = make(map[types.ServerID]string)
 	n.mu.Unlock()
 	for _, s := range servers {
-		s.Close()
+		_ = s.Close() // fabric teardown; listener errors have no consumer
 	}
 }

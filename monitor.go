@@ -2,6 +2,7 @@ package corec
 
 import (
 	"context"
+	"sort"
 	"sync"
 	"time"
 
@@ -124,6 +125,7 @@ func (m *Monitor) Dead() []ServerID {
 	for id := range m.dead {
 		out = append(out, ServerID(id))
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
 }
 

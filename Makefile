@@ -42,8 +42,13 @@ short:
 scrubrace:
 	$(GO) test -race -run 'TestScrub|TestChaos' ./...
 
+# bench smoke-runs every Go benchmark once, then regenerates the erasure
+# engine's regression artifact (encode workers=1 vs N, cold vs cached decode
+# matrices at 4+2 and 8+3). BENCH_erasure.json is committed so perf
+# regressions show up as diffs.
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
+	$(GO) run ./cmd/corec-bench -experiment erasure -json BENCH_erasure.json
 
 ci: vet staticcheck lint build race scrubrace test
 

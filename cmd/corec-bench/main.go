@@ -7,10 +7,16 @@
 // Usage:
 //
 //	corec-bench -experiment fig2|fig4|fig8|fig9|fig10|fig11|fig12|table1|
-//	            table2|read-penalty|model-validation|all [-quick] [-csv dir]
+//	            table2|read-penalty|model-validation|erasure|all
+//	            [-quick] [-csv dir] [-json file]
+//
+// The erasure experiment measures the parallel erasure-coding engine
+// (encode workers=1 vs N, cold vs cached decode matrices) and, with -json,
+// writes the regression artifact BENCH_erasure.json tracks.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -22,10 +28,12 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run: fig2, fig4, fig8, fig9, fig10, fig11, fig12, table1, table2, read-penalty, model-validation, or all")
+	experiment := flag.String("experiment", "all", "which experiment to run: fig2, fig4, fig8, fig9, fig10, fig11, fig12, table1, table2, read-penalty, model-validation, erasure, or all")
 	quick := flag.Bool("quick", false, "trim sweeps for a fast smoke run")
 	csvDir := flag.String("csv", "", "also write CSV files into this directory")
+	jsonPath := flag.String("json", "", "write the erasure experiment's report to this JSON file")
 	flag.Parse()
+	benchJSONPath = *jsonPath
 
 	if *csvDir != "" {
 		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
@@ -40,6 +48,11 @@ func main() {
 	}
 	fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
 }
+
+// benchJSONPath is where the erasure experiment writes its JSON report
+// (empty = don't write). Package-level so the recursive "all" runner keeps
+// the flag's value.
+var benchJSONPath string
 
 // writeCSV invokes f on a freshly created file in dir (no-op when dir is
 // empty).
@@ -139,6 +152,22 @@ func run(experiment string, quick bool, csvDir string) error {
 				return err
 			}
 		}
+	case "erasure":
+		rep, err := harness.RunErasureBench(quick)
+		if err != nil {
+			return err
+		}
+		harness.WriteErasureBench(out, rep)
+		if benchJSONPath != "" {
+			data, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(benchJSONPath, append(data, '\n'), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("(json written to %s)\n", benchJSONPath)
+		}
 	case "read-penalty":
 		trials := 5
 		if quick {
@@ -156,7 +185,7 @@ func run(experiment string, quick bool, csvDir string) error {
 		}
 		harness.WriteModelValidation(out, v)
 	case "all":
-		for _, e := range []string{"table1", "fig2", "fig4", "fig8", "fig9", "fig10", "fig11", "fig12", "read-penalty", "model-validation"} {
+		for _, e := range []string{"table1", "fig2", "fig4", "fig8", "fig9", "fig10", "fig11", "fig12", "read-penalty", "model-validation", "erasure"} {
 			fmt.Fprintf(out, "==== %s ====\n", e)
 			if err := run(e, quick, csvDir); err != nil {
 				return fmt.Errorf("%s: %w", e, err)

@@ -132,6 +132,14 @@ type Config struct {
 	// erasure.Vandermonde (default) or erasure.Cauchy. Both are systematic
 	// MDS codes; all servers and clients of one cluster must agree.
 	Construction erasure.Construction
+	// EncodeWorkers bounds the erasure engine's range parallelism on every
+	// server (and on client-side degraded reads). 0 (default) resolves to
+	// GOMAXPROCS; 1 forces the serial row-major encode path.
+	EncodeWorkers int
+	// DecodeCacheEntries sizes each codec's LRU cache of inverted decode
+	// matrices. 0 (default) resolves to erasure.DefaultDecodeCacheEntries;
+	// negative disables the cache.
+	DecodeCacheEntries int
 	// Transport selects the fabric: "inproc" (default) or "tcp". TCP runs
 	// every server on its own listener (see ListenHost) so the staging
 	// service can span processes; the in-process fabric applies the Link
@@ -253,6 +261,22 @@ type Reroute struct {
 	Version Version
 }
 
+// tunedCodec builds the cluster-side codec with the encode-engine knobs
+// applied, mirroring what each server does with its own Config: workers for
+// parallel client-side degraded reads, plus the decode-matrix cache unless
+// DecodeCacheEntries is negative.
+func tunedCodec(cfg Config) (*erasure.Codec, error) {
+	codec, err := erasure.NewWithConstruction(cfg.DataShards, cfg.NLevel, cfg.Construction)
+	if err != nil {
+		return nil, err
+	}
+	codec = codec.WithWorkers(cfg.EncodeWorkers)
+	if cfg.DecodeCacheEntries >= 0 {
+		codec = codec.WithDecodeCache(cfg.DecodeCacheEntries)
+	}
+	return codec, nil
+}
+
 // NewCluster builds and starts an in-process staging cluster.
 func NewCluster(cfg Config) (*Cluster, error) {
 	cfg = cfg.withDefaults()
@@ -318,7 +342,7 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	var codec *erasure.Codec
 	if cfg.Mode != PolicyNone {
-		codec, err = erasure.NewWithConstruction(cfg.DataShards, cfg.NLevel, cfg.Construction)
+		codec, err = tunedCodec(cfg)
 		if err != nil {
 			return nil, err
 		}
@@ -350,18 +374,20 @@ func (c *Cluster) startServer(id types.ServerID) (*server.Server, error) {
 		cc = classifier.DefaultConfig(c.cfg.Domain)
 	}
 	srv, err := server.New(server.Config{
-		ID:               id,
-		Topology:         c.top,
-		Groups:           c.groups,
-		Placement:        c.place,
-		Network:          c.net,
-		Policy:           c.polCfg,
-		Collector:        c.col,
-		RecoveryMode:     c.cfg.RecoveryMode,
-		Construction:     c.cfg.Construction,
-		MTBF:             c.cfg.MTBF,
-		HelperLoadDelta:  c.cfg.HelperLoadDelta,
-		ClassifierConfig: cc,
+		ID:                 id,
+		Topology:           c.top,
+		Groups:             c.groups,
+		Placement:          c.place,
+		Network:            c.net,
+		Policy:             c.polCfg,
+		Collector:          c.col,
+		RecoveryMode:       c.cfg.RecoveryMode,
+		Construction:       c.cfg.Construction,
+		EncodeWorkers:      c.cfg.EncodeWorkers,
+		DecodeCacheEntries: c.cfg.DecodeCacheEntries,
+		MTBF:               c.cfg.MTBF,
+		HelperLoadDelta:    c.cfg.HelperLoadDelta,
+		ClassifierConfig:   cc,
 	})
 	if err != nil {
 		return nil, err
@@ -519,7 +545,7 @@ func NewRemoteCluster(cfg Config, addrs map[ServerID]string) (*Cluster, error) {
 	var codec *erasure.Codec
 	var err error
 	if cfg.Mode != PolicyNone {
-		codec, err = erasure.NewWithConstruction(cfg.DataShards, cfg.NLevel, cfg.Construction)
+		codec, err = tunedCodec(cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -28,11 +28,27 @@ var (
 )
 
 // Codec is a reusable Reed-Solomon encoder/decoder for fixed (k, m). It is
-// safe for concurrent use: all state is immutable after construction.
+// safe for concurrent use: coding state is immutable after construction and
+// the optional decode-matrix cache is internally synchronized.
 type Codec struct {
 	k, m int
 	gen  *matrix.Matrix // (k+m) x k systematic generator
+	con  Construction
+	// workers bounds the range parallelism of Encode/Reconstruct. 1 keeps
+	// the serial row-major path; >1 selects the chunked fused engine in
+	// parallel.go (which is also faster on a single core).
+	workers int
+	// dec, when non-nil, caches inverted decode matrices keyed by
+	// (construction, k, m, survivor rows) so repeated degraded reads of the
+	// same loss pattern skip Gaussian elimination.
+	dec *matrix.InverseCache
 }
+
+// DefaultDecodeCacheEntries is the decode-matrix cache capacity WithDecodeCache
+// uses when given a non-positive size. Loss patterns come from server
+// failures, so live distinct patterns are few; 64 entries cover many
+// simultaneous patterns at ~k*k bytes each.
+const DefaultDecodeCacheEntries = 64
 
 // Construction selects the generator-matrix family.
 type Construction int
@@ -80,7 +96,45 @@ func NewWithConstruction(k, m int, con Construction) (*Codec, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Codec{k: k, m: m, gen: gen}, nil
+	return &Codec{k: k, m: m, gen: gen, con: con, workers: 1}, nil
+}
+
+// WithWorkers returns a copy of the codec whose Encode/Reconstruct shard the
+// stripe across up to n pool workers. n <= 0 selects DefaultWorkers();
+// n == 1 restores the serial row-major path. The copy shares the generator
+// and any decode-matrix cache with the receiver.
+func (c *Codec) WithWorkers(n int) *Codec {
+	if n <= 0 {
+		n = DefaultWorkers()
+	}
+	cp := *c
+	cp.workers = n
+	return &cp
+}
+
+// WithDecodeCache returns a copy of the codec that caches inverted decode
+// matrices in a fresh LRU of the given capacity (DefaultDecodeCacheEntries
+// when entries <= 0). The cache is shared by all further copies made from
+// the returned codec.
+func (c *Codec) WithDecodeCache(entries int) *Codec {
+	if entries <= 0 {
+		entries = DefaultDecodeCacheEntries
+	}
+	cp := *c
+	cp.dec = matrix.NewInverseCache(entries)
+	return &cp
+}
+
+// Workers reports the codec's range-parallelism bound.
+func (c *Codec) Workers() int { return c.workers }
+
+// DecodeCacheStats returns a snapshot of the decode-matrix cache counters.
+// ok is false when the codec has no cache.
+func (c *Codec) DecodeCacheStats() (stats matrix.CacheStats, ok bool) {
+	if c.dec == nil {
+		return matrix.CacheStats{}, false
+	}
+	return c.dec.Stats(), true
 }
 
 // DataShards returns k, the number of data shards per stripe.
@@ -124,9 +178,16 @@ func (c *Codec) checkShards(shards [][]byte, allowNil bool) (size int, err error
 
 // Encode computes the m parity shards from the first k data shards,
 // overwriting shards[k:]. All k+m shards must be allocated with equal size.
+// With workers > 1 (see WithWorkers) the stripe is sharded across the range
+// engine; the output is byte-identical to the serial path.
 func (c *Codec) Encode(shards [][]byte) error {
-	if _, err := c.checkShards(shards, false); err != nil {
+	size, err := c.checkShards(shards, false)
+	if err != nil {
 		return err
+	}
+	if c.workers > 1 {
+		run(size, c.workers, func(lo, hi int) { c.encodeRange(shards, lo, hi) })
+		return nil
 	}
 	for p := 0; p < c.m; p++ {
 		row := c.gen.Row(c.k + p)
@@ -199,10 +260,13 @@ func (c *Codec) reconstruct(shards [][]byte, dataOnly bool) error {
 	// Decode matrix: invert k surviving generator rows, mapping survivors
 	// back to the original data shards.
 	rows := present[:c.k]
-	dec, err := c.gen.SelectRows(rows).Invert()
+	dec, err := c.decodeMatrix(rows)
 	if err != nil {
 		// Cannot happen for an MDS generator; surface it defensively.
 		return fmt.Errorf("erasure: decode matrix singular: %w", err)
+	}
+	if c.workers > 1 {
+		return c.reconstructParallel(shards, rows, dec, missing, dataOnly, size)
 	}
 	// Recover missing data shards first.
 	var recoveredData [][]byte
@@ -262,6 +326,73 @@ func (c *Codec) reconstruct(shards [][]byte, dataOnly bool) error {
 			gf256.MulAddSlice(row[d], shards[d], out)
 		}
 		shards[idx] = out
+	}
+	return nil
+}
+
+// decodeMatrix returns the inverse of the generator rows selected by the
+// survivor set, consulting the decode-matrix cache when one is attached.
+// Cached matrices are shared and read-only.
+func (c *Codec) decodeMatrix(rows []int) (*matrix.Matrix, error) {
+	var key string
+	if c.dec != nil {
+		kb := make([]byte, 0, 3+len(rows))
+		kb = append(kb, byte(c.con), byte(c.k), byte(c.m))
+		for _, r := range rows {
+			kb = append(kb, byte(r))
+		}
+		key = string(kb)
+		if inv, ok := c.dec.Get(key); ok {
+			return inv, nil
+		}
+	}
+	inv, err := c.gen.SelectRows(rows).Invert()
+	if err != nil {
+		return nil, err
+	}
+	if c.dec != nil {
+		c.dec.Add(key, inv)
+	}
+	return inv, nil
+}
+
+// reconstructParallel is the workers>1 arm of reconstruct: every missing
+// shard gets a fresh buffer up front, byte-ranges of the stripe are fanned
+// out to the range engine, and the recovered buffers are attached to the
+// stripe only once every range has completed.
+func (c *Codec) reconstructParallel(shards [][]byte, rows []int, dec *matrix.Matrix, missing []int, dataOnly bool, size int) error {
+	newBufs := make([][]byte, c.k+c.m)
+	var needed []int
+	for _, idx := range missing {
+		if dataOnly && idx >= c.k {
+			continue
+		}
+		newBufs[idx] = make([]byte, size)
+		needed = append(needed, idx)
+	}
+	if len(needed) == 0 {
+		return nil
+	}
+	survivors := make([][]byte, len(rows))
+	for j, idx := range rows {
+		survivors[j] = shards[idx]
+	}
+	// Parity re-encoding reads the full data view: surviving data shards
+	// plus the buffers being recovered (each range fills its own window of
+	// those buffers before touching parity, so the view is complete there).
+	dataView := make([][]byte, c.k)
+	for d := 0; d < c.k; d++ {
+		if shards[d] != nil {
+			dataView[d] = shards[d]
+		} else {
+			dataView[d] = newBufs[d]
+		}
+	}
+	run(size, c.workers, func(lo, hi int) {
+		c.reconstructRange(newBufs, survivors, dataView, dec, needed, dataOnly, lo, hi)
+	})
+	for _, idx := range needed {
+		shards[idx] = newBufs[idx]
 	}
 	return nil
 }

@@ -1,0 +1,177 @@
+package erasure
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestEncodeParallelMatchesSerial is the engine's differential test: for
+// several geometries, worker counts, and sizes (chunk-unaligned tails
+// included), the parallel chunked-fused path must produce parity
+// byte-identical to the serial row-major path.
+func TestEncodeParallelMatchesSerial(t *testing.T) {
+	sizes := []int{1, 17, chunkBytes - 1, chunkBytes, chunkBytes + 1, 3*chunkBytes + 311}
+	for _, geom := range [][2]int{{2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4}} {
+		k, m := geom[0], geom[1]
+		for _, con := range []Construction{Vandermonde, Cauchy} {
+			c, err := NewWithConstruction(k, m, con)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, size := range sizes {
+				want := makeStripe(t, c, size, int64(k*100+m*10+size%7))
+				for _, workers := range []int{2, 3, 8} {
+					got := cloneStripe(want)
+					for p := k; p < k+m; p++ {
+						clear(got[p]) // make sure Encode really writes parity
+					}
+					if err := c.WithWorkers(workers).Encode(got); err != nil {
+						t.Fatal(err)
+					}
+					for i := range want {
+						if !bytes.Equal(want[i], got[i]) {
+							t.Fatalf("%v RS(%d+%d) size=%d workers=%d: shard %d differs",
+								con, k, m, size, workers, i)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestReconstructParallelMatchesSerial erases patterns of every weight up to
+// m and checks the parallel reconstruct (with and without the decode-matrix
+// cache) restores exactly what the serial path does.
+func TestReconstructParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	for _, geom := range [][2]int{{4, 2}, {8, 3}} {
+		k, m := geom[0], geom[1]
+		base, err := New(k, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par := base.WithWorkers(4).WithDecodeCache(8)
+		orig := makeStripe(t, base, 2*chunkBytes+97, int64(10*k+m))
+		for trial := 0; trial < 40; trial++ {
+			lost := 1 + rng.Intn(m)
+			erased := rng.Perm(k + m)[:lost]
+			for _, dataOnly := range []bool{false, true} {
+				stripe := cloneStripe(orig)
+				for _, e := range erased {
+					stripe[e] = nil
+				}
+				var rerr error
+				if dataOnly {
+					rerr = par.ReconstructData(stripe)
+				} else {
+					rerr = par.Reconstruct(stripe)
+				}
+				if rerr != nil {
+					t.Fatalf("RS(%d+%d) erased=%v dataOnly=%v: %v", k, m, erased, dataOnly, rerr)
+				}
+				for i := range orig {
+					if stripe[i] == nil {
+						if dataOnly && i >= k {
+							continue // parity legitimately left missing
+						}
+						t.Fatalf("shard %d still nil (erased=%v dataOnly=%v)", i, erased, dataOnly)
+					}
+					if !bytes.Equal(stripe[i], orig[i]) {
+						t.Fatalf("RS(%d+%d) erased=%v dataOnly=%v: shard %d differs", k, m, erased, dataOnly, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestDecodeMatrixCache checks hit/miss accounting across repeated and
+// distinct erasure patterns, and that WithWorkers copies share the cache.
+func TestDecodeMatrixCache(t *testing.T) {
+	base, err := New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := base.WithDecodeCache(4)
+	orig := makeStripe(t, base, 512, 5)
+	degrade := func(cc *Codec, lost ...int) {
+		stripe := cloneStripe(orig)
+		for _, e := range lost {
+			stripe[e] = nil
+		}
+		if err := cc.Reconstruct(stripe); err != nil {
+			t.Fatal(err)
+		}
+		for i := range orig {
+			if !bytes.Equal(stripe[i], orig[i]) {
+				t.Fatalf("shard %d differs after losing %v", i, lost)
+			}
+		}
+	}
+	degrade(c, 0)
+	degrade(c, 0)
+	degrade(c, 0, 1)
+	degrade(c.WithWorkers(4), 0, 1) // same pattern through a workers copy
+	st, ok := c.DecodeCacheStats()
+	if !ok {
+		t.Fatal("cache stats missing")
+	}
+	if st.Misses != 2 || st.Hits != 2 || st.Entries != 2 {
+		t.Fatalf("stats = %+v, want 2 misses, 2 hits, 2 entries", st)
+	}
+	if _, ok := base.DecodeCacheStats(); ok {
+		t.Fatal("base codec should have no cache")
+	}
+}
+
+// TestWithWorkersDefaults pins the knob semantics: base codecs are serial,
+// non-positive worker counts resolve to DefaultWorkers, and copies do not
+// mutate the receiver.
+func TestWithWorkersDefaults(t *testing.T) {
+	c, err := New(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Workers() != 1 {
+		t.Fatalf("base workers = %d, want 1", c.Workers())
+	}
+	if got := c.WithWorkers(0).Workers(); got != DefaultWorkers() {
+		t.Fatalf("WithWorkers(0) = %d, want DefaultWorkers %d", got, DefaultWorkers())
+	}
+	if got := c.WithWorkers(6).Workers(); got != 6 {
+		t.Fatalf("WithWorkers(6) = %d", got)
+	}
+	if c.Workers() != 1 {
+		t.Fatal("WithWorkers mutated the receiver")
+	}
+	if got := c.WithDecodeCache(0); got.dec == nil {
+		t.Fatal("WithDecodeCache(0) did not attach a default cache")
+	}
+}
+
+// TestRunCoversRange checks the range partitioner visits every byte exactly
+// once for awkward sizes and part counts.
+func TestRunCoversRange(t *testing.T) {
+	for _, size := range []int{1, chunkBytes, chunkBytes + 1, 5*chunkBytes + 3} {
+		for _, parts := range []int{1, 2, 3, 16} {
+			seen := make([]int32, size)
+			run(size, parts, func(lo, hi int) {
+				if lo < 0 || hi > size || lo >= hi {
+					t.Errorf("bad range [%d,%d) for size=%d parts=%d", lo, hi, size, parts)
+					return
+				}
+				for i := lo; i < hi; i++ {
+					// ranges are disjoint, so unsynchronized writes are safe
+					seen[i]++
+				}
+			})
+			for i, n := range seen {
+				if n != 1 {
+					t.Fatalf("size=%d parts=%d: byte %d visited %d times", size, parts, i, n)
+				}
+			}
+		}
+	}
+}

@@ -7,9 +7,12 @@
 // log/exp tables built once at package initialization.
 //
 // The package exposes both scalar operations (Mul, Div, Inv, Exp) and slice
-// kernels (MulSlice, MulAddSlice) which are the inner loops of erasure
-// encoding and decoding. The slice kernels process one coefficient against a
-// full data word at a time, matching how generator-matrix rows are applied.
+// kernels (MulSlice, MulAddSlice and the fused MulAddSlice2/MulAddSlice4)
+// which are the inner loops of erasure encoding and decoding. The slice
+// kernels live behind a single dispatch point in kernels.go: every exported
+// kernel shares one argument-checking prologue with consistent zero-length,
+// c==0 and c==1 fast paths, and the inner loop is selected from a small
+// table of interchangeable implementations (see KernelID).
 package gf256
 
 import "fmt"
@@ -116,50 +119,6 @@ func Pow(a byte, n int) byte {
 		return 0
 	}
 	return Exp(int(logTable[a]) % Order * (n % Order) % Order)
-}
-
-// MulSlice sets dst[i] = c * src[i] for all i. dst and src must have the
-// same length; they may alias. A zero coefficient zeroes dst; coefficient
-// one degenerates to a copy.
-func MulSlice(c byte, src, dst []byte) {
-	if len(src) != len(dst) {
-		panic("gf256: MulSlice length mismatch")
-	}
-	switch c {
-	case 0:
-		for i := range dst {
-			dst[i] = 0
-		}
-	case 1:
-		copy(dst, src)
-	default:
-		mt := &mulTable[c]
-		for i, s := range src {
-			dst[i] = mt[s]
-		}
-	}
-}
-
-// MulAddSlice sets dst[i] ^= c * src[i] for all i: the fused
-// multiply-accumulate at the heart of matrix-vector products over GF(2^8).
-// dst and src must have the same length and must not alias unless equal.
-func MulAddSlice(c byte, src, dst []byte) {
-	if len(src) != len(dst) {
-		panic("gf256: MulAddSlice length mismatch")
-	}
-	switch c {
-	case 0:
-		// No contribution.
-	case 1:
-		for i, s := range src {
-			dst[i] ^= s
-		}
-	default:
-		mt := &mulTable[c]
-		for i, s := range src {
-			dst[i] ^= mt[s]
-		}
-	}
 }
 
 // AddSlice sets dst[i] ^= src[i] for all i.

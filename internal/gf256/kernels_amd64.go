@@ -1,0 +1,50 @@
+//go:build amd64
+
+package gf256
+
+// Go side of the SSSE3 kernel: CPUID probing, registration behind the
+// dispatch point, and wrappers that feed the assembly whole 16-byte blocks
+// and finish tails with the table kernel. The wrappers are only entered
+// through the shared prologue (c >= 2, equal non-zero lengths), but the
+// nibble tables are valid for every coefficient, so the fused kernels may
+// also route any-coefficient passes here.
+
+// hasSSSE3 reports CPUID support for PSHUFB (implemented in assembly).
+func hasSSSE3() bool
+
+//go:noescape
+func asmMulSliceSSSE3(lo, hi, src, dst *byte, n int)
+
+//go:noescape
+func asmMulAddSliceSSSE3(lo, hi, src, dst *byte, n int)
+
+func init() {
+	if !hasSSSE3() {
+		return
+	}
+	kernelImpls[KernelSIMD] = kernelImpl{mulSliceSIMD, mulAddSliceSIMD}
+	activeKernel = &kernelImpls[KernelSIMD]
+	activeKernelID = KernelSIMD
+}
+
+func mulSliceSIMD(c byte, src, dst []byte) {
+	n := len(dst) &^ 15
+	if n > 0 {
+		asmMulSliceSSSE3(&nibbleTables[c][0][0], &nibbleTables[c][1][0], &src[0], &dst[0], n)
+	}
+	mt := &mulTable[c]
+	for i := n; i < len(dst); i++ {
+		dst[i] = mt[src[i]]
+	}
+}
+
+func mulAddSliceSIMD(c byte, src, dst []byte) {
+	n := len(dst) &^ 15
+	if n > 0 {
+		asmMulAddSliceSSSE3(&nibbleTables[c][0][0], &nibbleTables[c][1][0], &src[0], &dst[0], n)
+	}
+	mt := &mulTable[c]
+	for i := n; i < len(dst); i++ {
+		dst[i] ^= mt[src[i]]
+	}
+}

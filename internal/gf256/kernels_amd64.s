@@ -1,0 +1,94 @@
+// SSSE3 slice kernels: the assembly port the 4-bit split-table layout in
+// kernels.go exists for. PSHUFB performs sixteen table lookups per
+// instruction against the 16-entry nibble tables:
+//
+//	c*x = loTab[x & 0xF] ^ hiTab[x >> 4]
+//
+// The Go wrappers in kernels_amd64.go pass the two nibble tables for the
+// coefficient plus a byte count that is a multiple of 16 (tails are
+// finished in Go), and only after hasSSSE3 has reported support.
+
+#include "textflag.h"
+
+DATA nibbleMask<>+0(SB)/8, $0x0F0F0F0F0F0F0F0F
+DATA nibbleMask<>+8(SB)/8, $0x0F0F0F0F0F0F0F0F
+GLOBL nibbleMask<>(SB), RODATA|NOPTR, $16
+
+// func hasSSSE3() bool
+TEXT ·hasSSSE3(SB), NOSPLIT, $0-1
+	MOVQ $1, AX
+	CPUID
+	SHRL $9, CX            // ECX bit 9: SSSE3
+	ANDL $1, CX
+	MOVB CX, ret+0(FP)
+	RET
+
+// func asmMulSliceSSSE3(lo, hi, src, dst *byte, n int)
+// dst[i] = loTab[src[i]&0xF] ^ hiTab[src[i]>>4] for i in [0, n), n % 16 == 0.
+TEXT ·asmMulSliceSSSE3(SB), NOSPLIT, $0-40
+	MOVQ  lo+0(FP), SI
+	MOVQ  hi+8(FP), DI
+	MOVQ  src+16(FP), R8
+	MOVQ  dst+24(FP), R9
+	MOVQ  n+32(FP), CX
+	MOVOU (SI), X5               // low-nibble table
+	MOVOU (DI), X6               // high-nibble table
+	MOVOU nibbleMask<>(SB), X7
+
+mulloop:
+	CMPQ  CX, $16
+	JB    muldone
+	MOVOU (R8), X0
+	MOVOA X0, X1
+	PSRLW $4, X1
+	PAND  X7, X0                 // low nibbles
+	PAND  X7, X1                 // high nibbles
+	MOVOA X5, X2
+	PSHUFB X0, X2                // loTab[low]
+	MOVOA X6, X3
+	PSHUFB X1, X3                // hiTab[high]
+	PXOR  X3, X2
+	MOVOU X2, (R9)
+	ADDQ  $16, R8
+	ADDQ  $16, R9
+	SUBQ  $16, CX
+	JMP   mulloop
+
+muldone:
+	RET
+
+// func asmMulAddSliceSSSE3(lo, hi, src, dst *byte, n int)
+// dst[i] ^= loTab[src[i]&0xF] ^ hiTab[src[i]>>4] for i in [0, n), n % 16 == 0.
+TEXT ·asmMulAddSliceSSSE3(SB), NOSPLIT, $0-40
+	MOVQ  lo+0(FP), SI
+	MOVQ  hi+8(FP), DI
+	MOVQ  src+16(FP), R8
+	MOVQ  dst+24(FP), R9
+	MOVQ  n+32(FP), CX
+	MOVOU (SI), X5
+	MOVOU (DI), X6
+	MOVOU nibbleMask<>(SB), X7
+
+addloop:
+	CMPQ  CX, $16
+	JB    adddone
+	MOVOU (R8), X0
+	MOVOA X0, X1
+	PSRLW $4, X1
+	PAND  X7, X0
+	PAND  X7, X1
+	MOVOA X5, X2
+	PSHUFB X0, X2
+	MOVOA X6, X3
+	PSHUFB X1, X3
+	PXOR  X3, X2
+	MOVOU (R9), X4
+	PXOR  X4, X2
+	MOVOU X2, (R9)
+	ADDQ  $16, R8
+	ADDQ  $16, R9
+	SUBQ  $16, CX
+	JMP   addloop
+
+adddone:
+	RET

@@ -1,0 +1,7 @@
+//go:build !amd64
+
+package gf256
+
+// Non-amd64 platforms have no assembly kernel; KernelSIMD stays
+// unregistered (its kernelImpls slot is zero) and SelectKernel rejects it,
+// leaving KernelTable the default.

@@ -6,57 +6,178 @@ import (
 	"testing"
 )
 
-func TestFastKernelsMatchReferenceExhaustiveCoefficients(t *testing.T) {
-	rng := rand.New(rand.NewSource(6))
-	src := make([]byte, 259) // odd length exercises the tail loop
-	rng.Read(src)
+// kernelIDs enumerates every implementation behind the dispatch point
+// (KernelSIMD only where the platform registered it).
+var kernelIDs = func() []KernelID {
+	ids := []KernelID{KernelTable, KernelNibble, KernelRef}
+	if SIMDAvailable() {
+		ids = append(ids, KernelSIMD)
+	}
+	return ids
+}()
+
+// TestKernelsDifferentialExhaustiveCoefficients is the differential
+// property test of the dispatch point: for every kernel implementation,
+// every coefficient c (all 256), seeded-random slices and every unaligned
+// tail length 1..64, MulSlice/MulAddSlice must agree byte-exactly with the
+// scalar reference kernel. The base length exceeds the nibble kernel's
+// 4-wide unroll and the fused kernels' stride so both the unrolled body
+// and the tail loop are exercised at every alignment.
+func TestKernelsDifferentialExhaustiveCoefficients(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	base := make([]byte, 256+64)
+	acc := make([]byte, len(base))
+	rng.Read(base)
+	rng.Read(acc)
+	for _, id := range kernelIDs {
+		restore := SelectKernel(id)
+		for c := 0; c < 256; c++ {
+			for _, n := range []int{1, 2, 3, 31, 64, 256 + 63} {
+				src := base[:n]
+				want := make([]byte, n)
+				got := make([]byte, n)
+				MulSliceRef(byte(c), src, want)
+				MulSlice(byte(c), src, got)
+				if !bytes.Equal(want, got) {
+					t.Fatalf("kernel %v: MulSlice differs at c=%d n=%d", id, c, n)
+				}
+				copy(want, acc[:n])
+				copy(got, acc[:n])
+				MulAddSliceRef(byte(c), src, want)
+				MulAddSlice(byte(c), src, got)
+				if !bytes.Equal(want, got) {
+					t.Fatalf("kernel %v: MulAddSlice differs at c=%d n=%d", id, c, n)
+				}
+			}
+		}
+		restore()
+	}
+	if got := Kernel(); got != KernelTable && got != KernelSIMD {
+		t.Fatalf("kernel not restored to platform default: %v", got)
+	}
+}
+
+// TestKernelsDifferentialUnalignedTails sweeps every tail length 1..64
+// with fresh seeded-random data per length, under every kernel.
+func TestKernelsDifferentialUnalignedTails(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for _, id := range kernelIDs {
+		restore := SelectKernel(id)
+		for n := 1; n <= 64; n++ {
+			src := make([]byte, n)
+			acc := make([]byte, n)
+			rng.Read(src)
+			rng.Read(acc)
+			c := byte(2 + rng.Intn(254)) // dispatch path: c >= 2
+			want := make([]byte, n)
+			got := make([]byte, n)
+			MulSliceRef(c, src, want)
+			MulSlice(c, src, got)
+			if !bytes.Equal(want, got) {
+				t.Fatalf("kernel %v: MulSlice differs at c=%d n=%d", id, c, n)
+			}
+			copy(want, acc)
+			copy(got, acc)
+			MulAddSliceRef(c, src, want)
+			MulAddSlice(c, src, got)
+			if !bytes.Equal(want, got) {
+				t.Fatalf("kernel %v: MulAddSlice differs at c=%d n=%d", id, c, n)
+			}
+		}
+		restore()
+	}
+}
+
+// TestFusedKernelsMatchComposedReference checks MulAddSlice2/4 against the
+// composition of single-coefficient reference passes, over every
+// coefficient value (rotated through the lanes so each lane sees all 256,
+// including the 0 and 1 specials) and unaligned tail lengths 1..64.
+func TestFusedKernelsMatchComposedReference(t *testing.T) {
+	for _, id := range kernelIDs {
+		restore := SelectKernel(id)
+		t.Run(id.String(), testFusedKernelsMatchComposedReference)
+		restore()
+	}
+}
+
+func testFusedKernelsMatchComposedReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	srcs := make([][]byte, 4)
+	for i := range srcs {
+		srcs[i] = make([]byte, 256+64)
+		rng.Read(srcs[i])
+	}
+	acc := make([]byte, 256+64)
+	rng.Read(acc)
 	for c := 0; c < 256; c++ {
-		// MulSliceFast vs MulSlice.
-		want := make([]byte, len(src))
-		got := make([]byte, len(src))
-		MulSlice(byte(c), src, want)
-		MulSliceFast(byte(c), src, got)
+		cs := [4]byte{byte(c), byte(c + 85), byte(c + 170), byte(255 - c)}
+		n := 1 + (c*67)%(len(acc)-1) // deterministic sweep of lengths incl. 1..64 tails
+		want := append([]byte(nil), acc[:n]...)
+		for lane := 0; lane < 4; lane++ {
+			MulAddSliceRef(cs[lane], srcs[lane][:n], want)
+		}
+		got := append([]byte(nil), acc[:n]...)
+		MulAddSlice4(cs[0], cs[1], cs[2], cs[3], srcs[0][:n], srcs[1][:n], srcs[2][:n], srcs[3][:n], got)
 		if !bytes.Equal(want, got) {
-			t.Fatalf("MulSliceFast differs at c=%d", c)
+			t.Fatalf("MulAddSlice4 differs at c=%d n=%d", c, n)
 		}
-		// MulAddSliceFast vs MulAddSlice from the same accumulator.
-		accWant := make([]byte, len(src))
-		accGot := make([]byte, len(src))
-		rng.Read(accWant)
-		copy(accGot, accWant)
-		MulAddSlice(byte(c), src, accWant)
-		MulAddSliceFast(byte(c), src, accGot)
-		if !bytes.Equal(accWant, accGot) {
-			t.Fatalf("MulAddSliceFast differs at c=%d", c)
+		want2 := append([]byte(nil), acc[:n]...)
+		MulAddSliceRef(cs[0], srcs[0][:n], want2)
+		MulAddSliceRef(cs[1], srcs[1][:n], want2)
+		got2 := append([]byte(nil), acc[:n]...)
+		MulAddSlice2(cs[0], cs[1], srcs[0][:n], srcs[1][:n], got2)
+		if !bytes.Equal(want2, got2) {
+			t.Fatalf("MulAddSlice2 differs at c=%d n=%d", c, n)
+		}
+		// Set variants: reference is the same composition over a zeroed
+		// accumulator; the destination's prior garbage must not leak in.
+		set4 := append([]byte(nil), acc[:n]...)
+		MulSlice4(cs[0], cs[1], cs[2], cs[3], srcs[0][:n], srcs[1][:n], srcs[2][:n], srcs[3][:n], set4)
+		wantSet4 := make([]byte, n)
+		for lane := 0; lane < 4; lane++ {
+			MulAddSliceRef(cs[lane], srcs[lane][:n], wantSet4)
+		}
+		if !bytes.Equal(wantSet4, set4) {
+			t.Fatalf("MulSlice4 differs at c=%d n=%d", c, n)
+		}
+		set2 := append([]byte(nil), acc[:n]...)
+		MulSlice2(cs[0], cs[1], srcs[0][:n], srcs[1][:n], set2)
+		wantSet2 := make([]byte, n)
+		MulAddSliceRef(cs[0], srcs[0][:n], wantSet2)
+		MulAddSliceRef(cs[1], srcs[1][:n], wantSet2)
+		if !bytes.Equal(wantSet2, set2) {
+			t.Fatalf("MulSlice2 differs at c=%d n=%d", c, n)
+		}
+	}
+	// Every tail length 1..64 explicitly, with zero/one coefficients mixed in.
+	for n := 1; n <= 64; n++ {
+		cs := [4]byte{0, 1, byte(n), byte(255 - n)}
+		want := append([]byte(nil), acc[:n]...)
+		for lane := 0; lane < 4; lane++ {
+			MulAddSliceRef(cs[lane], srcs[lane][:n], want)
+		}
+		got := append([]byte(nil), acc[:n]...)
+		MulAddSlice4(cs[0], cs[1], cs[2], cs[3], srcs[0][:n], srcs[1][:n], srcs[2][:n], srcs[3][:n], got)
+		if !bytes.Equal(want, got) {
+			t.Fatalf("MulAddSlice4 with 0/1 coefficients differs at n=%d", n)
 		}
 	}
 }
 
-func TestFastKernelsShortSlices(t *testing.T) {
-	for n := 0; n < 8; n++ {
-		src := make([]byte, n)
-		dst := make([]byte, n)
-		ref := make([]byte, n)
-		for i := range src {
-			src[i] = byte(i*37 + 1)
-		}
-		MulSlice(0x8E, src, ref)
-		MulSliceFast(0x8E, src, dst)
-		if !bytes.Equal(ref, dst) {
-			t.Fatalf("length %d differs", n)
-		}
-	}
-}
-
-func TestFastKernelsLengthMismatchPanics(t *testing.T) {
+func TestKernelLengthMismatchPanics(t *testing.T) {
+	a3, a4 := make([]byte, 3), make([]byte, 4)
 	for name, f := range map[string]func(){
-		"MulSliceFast":    func() { MulSliceFast(2, make([]byte, 3), make([]byte, 4)) },
-		"MulAddSliceFast": func() { MulAddSliceFast(2, make([]byte, 3), make([]byte, 4)) },
+		"MulAddSlice2/s0":  func() { MulAddSlice2(2, 3, a3, a4, a4) },
+		"MulAddSlice2/s1":  func() { MulAddSlice2(2, 3, a4, a3, a4) },
+		"MulAddSlice4/s2":  func() { MulAddSlice4(2, 3, 4, 5, a4, a4, a3, a4, a4) },
+		"MulAddSlice4/dst": func() { MulAddSlice4(2, 3, 4, 5, a4, a4, a4, a4, a3) },
+		"MulSlice2/s1":     func() { MulSlice2(2, 3, a4, a3, a4) },
+		"MulSlice4/s3":     func() { MulSlice4(2, 3, 4, 5, a4, a4, a4, a3, a4) },
 	} {
 		func() {
 			defer func() {
 				if recover() == nil {
-					t.Errorf("%s mismatch did not panic", name)
+					t.Errorf("%s length mismatch did not panic", name)
 				}
 			}()
 			f()
@@ -64,7 +185,26 @@ func TestFastKernelsLengthMismatchPanics(t *testing.T) {
 	}
 }
 
-func BenchmarkMulAddSliceReference(b *testing.B) {
+func TestSelectKernelValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown kernel id accepted")
+		}
+	}()
+	SelectKernel(KernelID(99))
+}
+
+func TestKernelNames(t *testing.T) {
+	if KernelTable.String() != "table" || KernelNibble.String() != "nibble" ||
+		KernelRef.String() != "ref" || KernelSIMD.String() != "simd" ||
+		KernelID(9).String() != "unknown" {
+		t.Fatal("kernel names wrong")
+	}
+}
+
+func benchKernel(b *testing.B, id KernelID) {
+	restore := SelectKernel(id)
+	defer restore()
 	src := make([]byte, 64*1024)
 	dst := make([]byte, 64*1024)
 	rand.New(rand.NewSource(2)).Read(src)
@@ -75,13 +215,21 @@ func BenchmarkMulAddSliceReference(b *testing.B) {
 	}
 }
 
-func BenchmarkMulAddSliceFast(b *testing.B) {
-	src := make([]byte, 64*1024)
+func BenchmarkMulAddSliceTable(b *testing.B)  { benchKernel(b, KernelTable) }
+func BenchmarkMulAddSliceNibble(b *testing.B) { benchKernel(b, KernelNibble) }
+func BenchmarkMulAddSliceRef(b *testing.B)    { benchKernel(b, KernelRef) }
+
+func BenchmarkMulAddSlice4Fused(b *testing.B) {
+	srcs := make([][]byte, 4)
+	rng := rand.New(rand.NewSource(2))
+	for i := range srcs {
+		srcs[i] = make([]byte, 64*1024)
+		rng.Read(srcs[i])
+	}
 	dst := make([]byte, 64*1024)
-	rand.New(rand.NewSource(2)).Read(src)
-	b.SetBytes(int64(len(src)))
+	b.SetBytes(int64(4 * len(dst))) // four coefficient applications per pass
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		MulAddSliceFast(0x57, src, dst)
+		MulAddSlice4(0x57, 0x8E, 0x13, 0xB1, srcs[0], srcs[1], srcs[2], srcs[3], dst)
 	}
 }

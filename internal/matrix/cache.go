@@ -1,0 +1,105 @@
+package matrix
+
+import (
+	"container/list"
+	"sync"
+)
+
+// InverseCache is a bounded, thread-safe LRU cache of inverted decode
+// matrices. Degraded reads and lazy recovery re-derive the decode matrix
+// from the surviving generator rows; for a fixed loss pattern that
+// derivation (SelectRows + Gauss-Jordan Invert) is identical every time,
+// and real failure patterns repeat — one dead server produces the same
+// erasure pattern for every stripe it belonged to. Caching the inverse
+// keyed by (construction, k, m, survivor rows) turns the per-read cubic
+// elimination into a map lookup.
+//
+// Cached matrices are shared: callers must treat a returned *Matrix as
+// read-only. The erasure codec only ever reads decode-matrix rows, so no
+// copies are made.
+type InverseCache struct {
+	mu       sync.Mutex
+	capacity int
+	ll       *list.List // front = most recently used
+	entries  map[string]*list.Element
+	hits     int64
+	misses   int64
+	evicts   int64
+}
+
+type cacheEntry struct {
+	key string
+	inv *Matrix
+}
+
+// CacheStats is a point-in-time snapshot of an InverseCache's counters.
+type CacheStats struct {
+	// Hits/Misses count Get outcomes since construction.
+	Hits, Misses int64
+	// Evictions counts entries displaced by capacity pressure.
+	Evictions int64
+	// Entries is the current resident count.
+	Entries int
+}
+
+// NewInverseCache returns an empty cache holding at most capacity inverted
+// matrices. It panics if capacity is not positive — a disabled cache is
+// represented by not constructing one.
+func NewInverseCache(capacity int) *InverseCache {
+	if capacity <= 0 {
+		panic("matrix: InverseCache capacity must be positive")
+	}
+	return &InverseCache{
+		capacity: capacity,
+		ll:       list.New(),
+		entries:  make(map[string]*list.Element, capacity),
+	}
+}
+
+// Get returns the cached inverse for key, marking it most recently used.
+func (c *InverseCache) Get(key string) (*Matrix, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).inv, true
+}
+
+// Add inserts the inverse under key, evicting the least recently used
+// entry when the cache is full. Adding an existing key refreshes its value
+// and recency.
+func (c *InverseCache) Add(key string, inv *Matrix) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).inv = inv
+		c.ll.MoveToFront(el)
+		return
+	}
+	if c.ll.Len() >= c.capacity {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evicts++
+	}
+	c.entries[key] = c.ll.PushFront(&cacheEntry{key: key, inv: inv})
+}
+
+// Len returns the current number of cached inverses.
+func (c *InverseCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *InverseCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evicts, Entries: c.ll.Len()}
+}

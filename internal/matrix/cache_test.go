@@ -1,0 +1,82 @@
+package matrix
+
+import "testing"
+
+func inv2x2(t *testing.T, seed byte) *Matrix {
+	t.Helper()
+	m := New(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, seed)
+	m.Set(1, 0, 0)
+	m.Set(1, 1, 1)
+	inv, err := m.Invert()
+	if err != nil {
+		t.Fatalf("invert: %v", err)
+	}
+	return inv
+}
+
+func TestInverseCacheHitMiss(t *testing.T) {
+	c := NewInverseCache(4)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("hit on empty cache")
+	}
+	inv := inv2x2(t, 7)
+	c.Add("a", inv)
+	got, ok := c.Get("a")
+	if !ok || got != inv {
+		t.Fatal("expected cached pointer back")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Evictions != 0 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestInverseCacheLRUEviction(t *testing.T) {
+	c := NewInverseCache(2)
+	a, b, d := inv2x2(t, 1), inv2x2(t, 2), inv2x2(t, 3)
+	c.Add("a", a)
+	c.Add("b", b)
+	// Touch "a" so "b" is the LRU victim.
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a missing")
+	}
+	c.Add("d", d)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a should have survived")
+	}
+	if _, ok := c.Get("d"); !ok {
+		t.Fatal("d should be resident")
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestInverseCacheRefreshExistingKey(t *testing.T) {
+	c := NewInverseCache(2)
+	a1, a2 := inv2x2(t, 1), inv2x2(t, 2)
+	c.Add("a", a1)
+	c.Add("a", a2)
+	if c.Len() != 1 {
+		t.Fatalf("len = %d, want 1", c.Len())
+	}
+	got, _ := c.Get("a")
+	if got != a2 {
+		t.Fatal("refresh did not replace value")
+	}
+}
+
+func TestInverseCacheCapacityValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero capacity accepted")
+		}
+	}()
+	NewInverseCache(0)
+}

@@ -6,12 +6,23 @@ import (
 	"sync/atomic"
 	"time"
 
+	"corec/internal/erasure"
 	"corec/internal/metrics"
 	"corec/internal/policy"
 	"corec/internal/scrub"
 	"corec/internal/transport"
 	"corec/internal/types"
 )
+
+// resolveEncodeWorkers maps the Config.EncodeWorkers knob to an erasure
+// engine worker count: non-positive means "use the default" (GOMAXPROCS),
+// 1 pins the serial row-major path, anything larger is taken as-is.
+func resolveEncodeWorkers(n int) int {
+	if n <= 0 {
+		return erasure.DefaultWorkers()
+	}
+	return n
+}
 
 // encodeObject transitions an object to the erasure-coded state following
 // the paper's encoding workflow (Figure 6):

@@ -5,12 +5,23 @@ import (
 	"fmt"
 	"time"
 
+	"corec/internal/matrix"
 	"corec/internal/metrics"
 	"corec/internal/recovery"
 	"corec/internal/scrub"
 	"corec/internal/transport"
 	"corec/internal/types"
 )
+
+// DecodeCacheStats reports the decode-matrix cache counters of this server's
+// codec. ok is false when the server is not erasure-coding or the cache is
+// disabled (DecodeCacheEntries < 0).
+func (s *Server) DecodeCacheStats() (stats matrix.CacheStats, ok bool) {
+	if s.codec == nil {
+		return matrix.CacheStats{}, false
+	}
+	return s.codec.DecodeCacheStats()
+}
 
 // fetchStripeData gathers enough shards of a stripe to reassemble the
 // original object of the given size. The systematic fast path reads the k

@@ -51,6 +51,14 @@ type Config struct {
 	// Construction selects the Reed-Solomon generator family (Vandermonde
 	// default, or Cauchy).
 	Construction erasure.Construction
+	// EncodeWorkers bounds the erasure engine's range parallelism for
+	// Encode/Reconstruct. 0 (default) resolves to GOMAXPROCS; 1 forces the
+	// serial row-major path; negative is treated as 0.
+	EncodeWorkers int
+	// DecodeCacheEntries sizes the LRU cache of inverted decode matrices
+	// used by degraded reads and recovery. 0 (default) resolves to
+	// erasure.DefaultDecodeCacheEntries; negative disables the cache.
+	DecodeCacheEntries int
 }
 
 // Server is one staging server. All exported methods are safe for
@@ -182,6 +190,10 @@ func New(cfg Config) (*Server, error) {
 		codec, err = erasure.NewWithConstruction(cfg.Policy.K, cfg.Policy.M, cfg.Construction)
 		if err != nil {
 			return nil, err
+		}
+		codec = codec.WithWorkers(resolveEncodeWorkers(cfg.EncodeWorkers))
+		if cfg.DecodeCacheEntries >= 0 {
+			codec = codec.WithDecodeCache(cfg.DecodeCacheEntries)
 		}
 		if cfg.Groups.CodingSize != cfg.Policy.K+cfg.Policy.M {
 			return nil, fmt.Errorf("server: coding group size %d != k+m = %d",

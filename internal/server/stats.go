@@ -35,6 +35,13 @@ type Stats struct {
 	PendingRepairs int `json:"pending_repairs"`
 	// ScrubPasses is the number of completed anti-entropy scrub passes.
 	ScrubPasses int64 `json:"scrub_passes"`
+	// EncodeWorkers is the erasure engine's range-parallelism bound
+	// (0 when the server is not erasure-coding).
+	EncodeWorkers int `json:"encode_workers,omitempty"`
+	// DecodeCacheHits/Misses count decode-matrix cache outcomes on degraded
+	// reads and recovery; both zero when the cache is disabled.
+	DecodeCacheHits   int64 `json:"decode_cache_hits,omitempty"`
+	DecodeCacheMisses int64 `json:"decode_cache_misses,omitempty"`
 }
 
 // CollectStats builds the status report.
@@ -74,6 +81,13 @@ func (s *Server) CollectStats() Stats {
 	s.encMu.Lock()
 	st.PendingEncodes = len(s.encPending)
 	s.encMu.Unlock()
+	if s.codec != nil {
+		st.EncodeWorkers = s.codec.Workers()
+		if cs, ok := s.codec.DecodeCacheStats(); ok {
+			st.DecodeCacheHits = cs.Hits
+			st.DecodeCacheMisses = cs.Misses
+		}
+	}
 	return st
 }
 

@@ -66,6 +66,21 @@ type FabricStatus struct {
 	Injected transport.FaultStats
 	// Scrub reports the anti-entropy scrubber's cumulative counters.
 	Scrub ScrubStatus
+	// Encoding reports the erasure engine's configuration and decode-matrix
+	// cache effectiveness.
+	Encoding EncodingStatus
+}
+
+// EncodingStatus aggregates the parallel erasure engine's view: the worker
+// bound in effect and decode-matrix cache outcomes summed over the local
+// servers plus the client-side codec used for degraded reads.
+type EncodingStatus struct {
+	// Workers is the engine's range-parallelism bound (0 without coding).
+	Workers int
+	// DecodeCacheHits/DecodeCacheMisses count cached vs freshly inverted
+	// decode matrices across degraded reads and recovery.
+	DecodeCacheHits   int64
+	DecodeCacheMisses int64
 }
 
 // ScrubStatus aggregates the anti-entropy scrubber's counters across the
@@ -115,6 +130,21 @@ func (c *Cluster) FabricStatus() FabricStatus {
 	if c.faults != nil {
 		st.Injected = c.faults.Stats()
 	}
+	if c.codec != nil {
+		st.Encoding.Workers = c.codec.Workers()
+		if cs, ok := c.codec.DecodeCacheStats(); ok {
+			st.Encoding.DecodeCacheHits += cs.Hits
+			st.Encoding.DecodeCacheMisses += cs.Misses
+		}
+	}
+	c.mu.Lock()
+	for _, s := range c.servers {
+		if cs, ok := s.DecodeCacheStats(); ok {
+			st.Encoding.DecodeCacheHits += cs.Hits
+			st.Encoding.DecodeCacheMisses += cs.Misses
+		}
+	}
+	c.mu.Unlock()
 	return st
 }
 

@@ -49,6 +49,7 @@ scrubrace:
 bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
 	$(GO) run ./cmd/corec-bench -experiment erasure -json BENCH_erasure.json
+	$(GO) run ./cmd/corec-bench -experiment transport -json BENCH_transport.json
 
 ci: vet staticcheck lint build race scrubrace test
 

@@ -173,20 +173,21 @@ func (cl *Client) Get(ctx context.Context, name string, box Box, version Version
 		go func(meta types.ObjectMeta) {
 			defer wg.Done()
 			data, err := cl.fetchObject(ctx, &meta)
+			if err == nil {
+				// Safe outside the lock: the partitioner tiles objects over
+				// disjoint boxes, so each copy writes a disjoint region of
+				// out. Serializing the copies under mu made every fetch wait
+				// on its neighbours' memcpy — the mutex only needs to guard
+				// error aggregation.
+				_, err = ndarray.CopyRegion(meta.ID.Box, data, box, out, elem)
+			}
 			if err != nil {
 				mu.Lock()
 				if firstErr == nil {
 					firstErr = err
 				}
 				mu.Unlock()
-				return
 			}
-			mu.Lock()
-			_, cpErr := ndarray.CopyRegion(meta.ID.Box, data, box, out, elem)
-			if cpErr != nil && firstErr == nil {
-				firstErr = cpErr
-			}
-			mu.Unlock()
 		}(meta)
 	}
 	wg.Wait()
@@ -386,19 +387,30 @@ func (cl *Client) fetchEncoded(ctx context.Context, meta *types.ObjectMeta) ([]b
 	}
 	wg.Wait()
 	if missingData {
-		// Degraded read: pull parity shards and reconstruct the data.
+		// Degraded read: pull parity shards and reconstruct the data. All
+		// surviving parity is fetched in parallel, even when fewer shards
+		// would complete the stripe — at most m extra shards of bandwidth,
+		// traded for one fetch round-trip instead of m sequential ones (the
+		// degraded path is latency-bound, and spare shards let reconstruction
+		// proceed when a parity fetch fails too).
+		var pwg sync.WaitGroup
 		for _, member := range info.Members {
-			if have >= info.K {
-				break
-			}
 			if member.Index < info.K || shards[member.Index] != nil {
 				continue
 			}
-			if b, ok := cl.fetchShard(ctx, info.ID, member); ok {
-				shards[member.Index] = b
-				have++
-			}
+			pwg.Add(1)
+			go func(member types.StripeMember) {
+				defer pwg.Done()
+				b, ok := cl.fetchShard(ctx, info.ID, member)
+				mu.Lock()
+				defer mu.Unlock()
+				if ok {
+					shards[member.Index] = b
+					have++
+				}
+			}(member)
 		}
+		pwg.Wait()
 		if have < info.K {
 			return nil, fmt.Errorf("%w: stripe %v has %d of %d shards", ErrDataLoss, info.ID, have, info.K)
 		}

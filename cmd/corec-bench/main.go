@@ -7,12 +7,15 @@
 // Usage:
 //
 //	corec-bench -experiment fig2|fig4|fig8|fig9|fig10|fig11|fig12|table1|
-//	            table2|read-penalty|model-validation|erasure|all
+//	            table2|read-penalty|model-validation|erasure|transport|all
 //	            [-quick] [-csv dir] [-json file]
 //
 // The erasure experiment measures the parallel erasure-coding engine
 // (encode workers=1 vs N, cold vs cached decode matrices) and, with -json,
-// writes the regression artifact BENCH_erasure.json tracks.
+// writes the regression artifact BENCH_erasure.json tracks. The transport
+// experiment measures staging round-trip throughput and latency (baseline
+// vs multiplexed TCP discipline, plus the in-process fabric) and writes
+// BENCH_transport.json the same way.
 package main
 
 import (
@@ -28,7 +31,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run: fig2, fig4, fig8, fig9, fig10, fig11, fig12, table1, table2, read-penalty, model-validation, erasure, or all")
+	experiment := flag.String("experiment", "all", "which experiment to run: fig2, fig4, fig8, fig9, fig10, fig11, fig12, table1, table2, read-penalty, model-validation, erasure, transport, or all")
 	quick := flag.Bool("quick", false, "trim sweeps for a fast smoke run")
 	csvDir := flag.String("csv", "", "also write CSV files into this directory")
 	jsonPath := flag.String("json", "", "write the erasure experiment's report to this JSON file")
@@ -49,10 +52,27 @@ func main() {
 	fmt.Printf("\ncompleted in %v\n", time.Since(start).Round(time.Millisecond))
 }
 
-// benchJSONPath is where the erasure experiment writes its JSON report
-// (empty = don't write). Package-level so the recursive "all" runner keeps
-// the flag's value.
+// benchJSONPath is where the erasure and transport experiments write their
+// JSON reports (empty = don't write). Package-level so the recursive "all"
+// runner can suppress it for the duration of the sweep.
 var benchJSONPath string
+
+// writeBenchJSON serializes a benchmark report to benchJSONPath (no-op when
+// unset).
+func writeBenchJSON(rep any) error {
+	if benchJSONPath == "" {
+		return nil
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(benchJSONPath, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("(json written to %s)\n", benchJSONPath)
+	return nil
+}
 
 // writeCSV invokes f on a freshly created file in dir (no-op when dir is
 // empty).
@@ -158,15 +178,17 @@ func run(experiment string, quick bool, csvDir string) error {
 			return err
 		}
 		harness.WriteErasureBench(out, rep)
-		if benchJSONPath != "" {
-			data, err := json.MarshalIndent(rep, "", "  ")
-			if err != nil {
-				return err
-			}
-			if err := os.WriteFile(benchJSONPath, append(data, '\n'), 0o644); err != nil {
-				return err
-			}
-			fmt.Printf("(json written to %s)\n", benchJSONPath)
+		if err := writeBenchJSON(rep); err != nil {
+			return err
+		}
+	case "transport":
+		rep, err := harness.RunTransportBench(quick)
+		if err != nil {
+			return err
+		}
+		harness.WriteTransportBench(out, rep)
+		if err := writeBenchJSON(rep); err != nil {
+			return err
 		}
 	case "read-penalty":
 		trials := 5
@@ -185,7 +207,13 @@ func run(experiment string, quick bool, csvDir string) error {
 		}
 		harness.WriteModelValidation(out, v)
 	case "all":
-		for _, e := range []string{"table1", "fig2", "fig4", "fig8", "fig9", "fig10", "fig11", "fig12", "read-penalty", "model-validation", "erasure"} {
+		// Two experiments write JSON reports; under "all" the shared -json
+		// path would make the second clobber the first, so suppress the
+		// artifact and leave JSON output to single-experiment runs.
+		saved := benchJSONPath
+		benchJSONPath = ""
+		defer func() { benchJSONPath = saved }()
+		for _, e := range []string{"table1", "fig2", "fig4", "fig8", "fig9", "fig10", "fig11", "fig12", "read-penalty", "model-validation", "erasure", "transport"} {
 			fmt.Fprintf(out, "==== %s ====\n", e)
 			if err := run(e, quick, csvDir); err != nil {
 				return fmt.Errorf("%s: %w", e, err)

@@ -7,6 +7,11 @@
 //
 //	corec-server [-servers 8] [-mode corec] [-addr-file corec-addrs.json]
 //	             [-host 127.0.0.1] [-nlevel 1] [-k 3] [-s 0.67]
+//	             [-mux-conns 0] [-max-inflight 0]
+//
+// -mux-conns enables the multiplexed transport (pipelined connections with
+// pooled zero-copy frames); servers then expect request IDs on the stream,
+// so every client of the service must be started with the same setting.
 package main
 
 import (
@@ -30,6 +35,8 @@ func main() {
 	nlevel := flag.Int("nlevel", 1, "failures to tolerate")
 	k := flag.Int("k", 3, "Reed-Solomon data shards")
 	s := flag.Float64("s", 0.67, "storage efficiency constraint")
+	muxConns := flag.Int("mux-conns", 0, "multiplexed connections per peer (0 = one request per connection); clients must match")
+	maxInFlight := flag.Int("max-inflight", 0, "pipelining window per multiplexed connection (0 = default)")
 	flag.Parse()
 
 	mode, err := policy.ParseMode(*modeName)
@@ -43,6 +50,8 @@ func main() {
 	cfg.StorageEfficiencyMin = *s
 	cfg.Transport = "tcp"
 	cfg.ListenHost = *host
+	cfg.MuxConnsPerPeer = *muxConns
+	cfg.MaxInFlight = *maxInFlight
 
 	cluster, err := corec.NewCluster(cfg)
 	if err != nil {

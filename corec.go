@@ -147,6 +147,19 @@ type Config struct {
 	Transport string
 	// ListenHost is the bind host for TCP transports. Default "127.0.0.1".
 	ListenHost string
+	// MuxConnsPerPeer enables request multiplexing on the TCP fabric: that
+	// many shared connections per peer carry pipelined requests correlated
+	// by frame request IDs, with pooled zero-copy frame buffers. 0 (default)
+	// keeps the one-request-per-connection baseline path — the comparison
+	// arm the transport benchmark measures against. Servers follow the same
+	// setting (pipelined connections expect request IDs on the stream), so
+	// all servers and clients of one service must agree, like Construction.
+	// Ignored by "inproc".
+	MuxConnsPerPeer int
+	// MaxInFlight bounds the pipelining window per multiplexed connection
+	// (backpressure on a saturated peer). 0 resolves to
+	// transport.DefaultMaxInFlight. Ignored unless MuxConnsPerPeer > 0.
+	MaxInFlight int
 	// Classifier tunes CoREC classification; zero value gets defaults over
 	// Domain.
 	Classifier classifier.Config
@@ -313,7 +326,9 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		if host == "" {
 			host = "127.0.0.1"
 		}
-		net = transport.NewTCPNetwork(host)
+		tn := transport.NewTCPNetwork(host)
+		tn.ConfigureMux(cfg.MuxConnsPerPeer, cfg.MaxInFlight)
+		net = tn
 	default:
 		return nil, fmt.Errorf("corec: unknown transport %q", cfg.Transport)
 	}
@@ -539,6 +554,7 @@ func NewRemoteCluster(cfg Config, addrs map[ServerID]string) (*Cluster, error) {
 		host = "127.0.0.1"
 	}
 	net := transport.NewTCPNetwork(host)
+	net.ConfigureMux(cfg.MuxConnsPerPeer, cfg.MaxInFlight)
 	for id, addr := range addrs {
 		net.AddRemote(types.ServerID(id), addr)
 	}

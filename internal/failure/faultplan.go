@@ -34,6 +34,18 @@ type LinkFault struct {
 	// CorruptProb is the probability the wire frame is corrupted in
 	// flight (caught by the CRC32 check, surfacing as ErrCorruptFrame).
 	CorruptProb float64
+	// RespCorruptProb is the probability the response frame is corrupted
+	// on the way back: the request is delivered and processed, then the
+	// reply fails its CRC32 check. On a multiplexed connection this
+	// exercises the per-request failure path — only the corrupted reply's
+	// request fails, the stream realigns and pipelined neighbours proceed.
+	RespCorruptProb float64
+	// ConnBreakProb is the probability every live client connection to the
+	// destination is severed before the message is sent (supported by
+	// fabrics exposing BreakConns; a no-op on the in-process fabric).
+	// Requests sharing a broken multiplexed connection fail with the
+	// retryable ErrConnBroken and are salvaged by the mux redial path.
+	ConnBreakProb float64
 	// ExtraLatency is added to every matching message.
 	ExtraLatency time.Duration
 	// Jitter adds a uniformly random extra delay in [0, Jitter).
@@ -175,7 +187,8 @@ func (p *FaultPlan) Validate() error {
 		for _, prob := range []struct {
 			name string
 			v    float64
-		}{{"drop", l.DropProb}, {"dup", l.DupProb}, {"corrupt", l.CorruptProb}} {
+		}{{"drop", l.DropProb}, {"dup", l.DupProb}, {"corrupt", l.CorruptProb},
+			{"response-corrupt", l.RespCorruptProb}, {"conn-break", l.ConnBreakProb}} {
 			if prob.v < 0 || prob.v > 1 {
 				return fmt.Errorf("failure: link rule %d: %s probability %g outside [0,1]", i, prob.name, prob.v)
 			}

@@ -1,0 +1,141 @@
+package transport
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Size-class recycling for frame buffers. Both hot paths of the TCP fabric
+// run through here: the send side borrows a scratch buffer for the frame
+// header plus wire metadata (the Data payload itself is written straight
+// from the caller's slice), and the receive side reads whole frames into a
+// pooled buffer before decoding.
+//
+// Ownership rules (the contract that makes pooling safe):
+//
+//   - getBuf hands out a buffer the caller owns exclusively.
+//   - putBuf returns it; the caller must hold no references afterwards.
+//   - readFramePooled recycles its buffer itself UNLESS the decoded
+//     message aliases it (Decode with AliasData, for large Data). In that
+//     case ownership transfers to the Message and the buffer is simply
+//     dropped to the GC when the message is released — an aliased buffer
+//     must never be recycled, because the server stores req.Data by
+//     reference and a recycled backing array would corrupt staged data.
+//
+// Buffers larger than the biggest class are allocated directly and never
+// pooled (counted as misses). Classes were sized to the protocol's traffic
+// mix: small control/metadata frames, 64 KiB transfer pieces, and payloads
+// up to the default 4 MiB object cap, each with headroom for wire metadata.
+
+// The size classes. Each class gets its own pool typed as a pointer to a
+// fixed-size array (*[classN]byte) rather than *[]byte: a pointer stores
+// directly in an interface word, so getBuf and putBuf are allocation-free
+// on the hot path, where boxing a slice header would cost one small heap
+// allocation per call — per frame, on both send and receive.
+const (
+	class0 = 4 << 10
+	class1 = 64<<10 + 512
+	class2 = 1<<20 + 1024
+	class3 = 4<<20 + 1024
+)
+
+var (
+	bufPool0 sync.Pool // holds *[class0]byte
+	bufPool1 sync.Pool // holds *[class1]byte
+	bufPool2 sync.Pool // holds *[class2]byte
+	bufPool3 sync.Pool // holds *[class3]byte
+)
+
+var (
+	bufPoolHits   atomic.Int64
+	bufPoolMisses atomic.Int64
+)
+
+// getBuf returns a buffer of length n from the smallest class that fits,
+// or a direct allocation when n exceeds every class. The contents are
+// arbitrary (callers overwrite the full length).
+func getBuf(n int) []byte {
+	var v any
+	switch {
+	case n <= class0:
+		v = bufPool0.Get()
+		if v == nil {
+			bufPoolMisses.Add(1)
+			return make([]byte, n, class0)
+		}
+		bufPoolHits.Add(1)
+		return v.(*[class0]byte)[:n]
+	case n <= class1:
+		v = bufPool1.Get()
+		if v == nil {
+			bufPoolMisses.Add(1)
+			return make([]byte, n, class1)
+		}
+		bufPoolHits.Add(1)
+		return v.(*[class1]byte)[:n]
+	case n <= class2:
+		v = bufPool2.Get()
+		if v == nil {
+			bufPoolMisses.Add(1)
+			return make([]byte, n, class2)
+		}
+		bufPoolHits.Add(1)
+		return v.(*[class2]byte)[:n]
+	case n <= class3:
+		v = bufPool3.Get()
+		if v == nil {
+			bufPoolMisses.Add(1)
+			return make([]byte, n, class3)
+		}
+		bufPoolHits.Add(1)
+		return v.(*[class3]byte)[:n]
+	}
+	bufPoolMisses.Add(1)
+	return make([]byte, n)
+}
+
+// putBuf recycles a buffer previously returned by getBuf. Buffers whose
+// capacity matches no class (oversize allocations, or append-grown slices
+// that migrated to a new backing array) are silently dropped to the GC.
+// The slice-to-array-pointer conversions are safe because capacity is
+// measured from the slice's first element: a cap of classN guarantees
+// classN addressable bytes behind the pointer.
+func putBuf(b []byte) {
+	switch cap(b) {
+	case class0:
+		bufPool0.Put((*[class0]byte)(b[:class0]))
+	case class1:
+		bufPool1.Put((*[class1]byte)(b[:class1]))
+	case class2:
+		bufPool2.Put((*[class2]byte)(b[:class2]))
+	case class3:
+		bufPool3.Put((*[class3]byte)(b[:class3]))
+	}
+}
+
+// BufferPoolStats reports cumulative frame-buffer pool outcomes: hits are
+// recycled buffers, misses are fresh allocations (first use, oversize
+// frames, and buffers lost to alias-decoded messages). The counters are
+// process-global because the pools are.
+func BufferPoolStats() (hits, misses int64) {
+	return bufPoolHits.Load(), bufPoolMisses.Load()
+}
+
+// Recycle hands a message's pooled frame buffer back for reuse. Call it
+// only when the message — and anything aliasing its Data (sub-slices kept
+// by the caller, responses stored by reference) — is no longer referenced:
+// after Recycle the buffer will back future frames and the old contents are
+// overwritten. Messages that never held a pooled buffer, and repeated calls
+// on the same message, are no-ops, so a caller that consumes every response
+// the same way can recycle unconditionally. This is the completion half of
+// the zero-copy read path: without it an alias-decoded buffer simply falls
+// to the GC (safe, but every large response costs a fresh allocation).
+func Recycle(m *Message) {
+	if m == nil || m.pooled == nil {
+		return
+	}
+	b := m.pooled
+	m.pooled = nil
+	m.Data = nil
+	putBuf(b)
+}

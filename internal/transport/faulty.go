@@ -35,11 +35,20 @@ type FaultyNetwork struct {
 	manual map[int]failure.Partition
 	nextID int
 
-	drops       atomic.Int64
-	dups        atomic.Int64
-	corrupts    atomic.Int64
-	partitioned atomic.Int64
-	delayed     atomic.Int64
+	drops        atomic.Int64
+	dups         atomic.Int64
+	corrupts     atomic.Int64
+	respCorrupts atomic.Int64
+	connBreaks   atomic.Int64
+	partitioned  atomic.Int64
+	delayed      atomic.Int64
+}
+
+// connBreaker is the optional fabric hook the injector uses to sever live
+// client connections (TCPNetwork implements it; the in-process fabric has
+// no connections to break).
+type connBreaker interface {
+	BreakConns(to types.ServerID) int
 }
 
 var _ Network = (*FaultyNetwork)(nil)
@@ -50,8 +59,14 @@ type FaultStats struct {
 	Drops int64
 	// Dups is the number of messages delivered twice.
 	Dups int64
-	// Corrupts is the number of frames corrupted (and caught by CRC32).
+	// Corrupts is the number of request frames corrupted (and caught by CRC32).
 	Corrupts int64
+	// RespCorrupts is the number of response frames corrupted after the
+	// request was delivered and processed.
+	RespCorrupts int64
+	// ConnBreaks is the number of connection-severing faults injected
+	// (each may break several live connections).
+	ConnBreaks int64
 	// Partitioned is the number of sends refused by an active partition.
 	Partitioned int64
 	// Delayed is the number of messages charged extra latency or jitter.
@@ -128,21 +143,25 @@ func (f *FaultyNetwork) Partition(a, b []types.ServerID) (heal func()) {
 // Stats returns the cumulative injected-fault counters.
 func (f *FaultyNetwork) Stats() FaultStats {
 	return FaultStats{
-		Drops:       f.drops.Load(),
-		Dups:        f.dups.Load(),
-		Corrupts:    f.corrupts.Load(),
-		Partitioned: f.partitioned.Load(),
-		Delayed:     f.delayed.Load(),
+		Drops:        f.drops.Load(),
+		Dups:         f.dups.Load(),
+		Corrupts:     f.corrupts.Load(),
+		RespCorrupts: f.respCorrupts.Load(),
+		ConnBreaks:   f.connBreaks.Load(),
+		Partitioned:  f.partitioned.Load(),
+		Delayed:      f.delayed.Load(),
 	}
 }
 
 // linkDecision is the set of faults drawn for one message.
 type linkDecision struct {
-	blocked bool
-	drop    bool
-	dup     bool
-	corrupt bool
-	delay   time.Duration
+	blocked     bool
+	drop        bool
+	dup         bool
+	corrupt     bool
+	respCorrupt bool
+	connBreak   bool
+	delay       time.Duration
 }
 
 func (f *FaultyNetwork) decide(from, to types.ServerID) linkDecision {
@@ -180,6 +199,12 @@ func (f *FaultyNetwork) decide(from, to types.ServerID) linkDecision {
 		}
 		if r.CorruptProb > 0 && f.rng.Float64() < r.CorruptProb {
 			d.corrupt = true
+		}
+		if r.RespCorruptProb > 0 && f.rng.Float64() < r.RespCorruptProb {
+			d.respCorrupt = true
+		}
+		if r.ConnBreakProb > 0 && f.rng.Float64() < r.ConnBreakProb {
+			d.connBreak = true
 		}
 	}
 	return d
@@ -222,7 +247,26 @@ func (f *FaultyNetwork) Send(ctx context.Context, from, to types.ServerID, req *
 		cp := *req
 		_, _ = f.inner.Send(ctx, from, to, &cp) // injected duplicate: its outcome must stay invisible
 	}
-	return f.inner.Send(ctx, from, to, req)
+	if d.connBreak {
+		// Sever every live client connection to the destination before this
+		// send, modeling mid-stream connection loss: requests pipelined on a
+		// shared multiplexed connection fail together with ErrConnBroken and
+		// exercise the mux redial salvage. The in-process fabric has no
+		// connections, so the draw is a no-op there.
+		if br, ok := f.inner.(connBreaker); ok {
+			f.connBreaks.Add(1)
+			br.BreakConns(to)
+		}
+	}
+	resp, err := f.inner.Send(ctx, from, to, req)
+	if err == nil && d.respCorrupt {
+		// The request was delivered and processed; corrupt the reply on the
+		// way back. On a multiplexed connection this is the per-request
+		// failure path: only this request fails, the stream realigns.
+		f.respCorrupts.Add(1)
+		return nil, f.corruptFrame(resp)
+	}
+	return resp, err
 }
 
 // corruptFrame frames the message exactly as the TCP wire codec would,

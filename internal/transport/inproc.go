@@ -72,11 +72,14 @@ func (n *InProc) Send(ctx context.Context, from, to types.ServerID, req *Message
 	if resp == nil {
 		resp = Ok()
 	}
-	if err := n.delay(ctx, resp.WireSize()); err != nil {
+	// WireSize walks every field (metas, stripes, box dims); compute it once
+	// for both the bandwidth charge and the byte counter.
+	respSize := resp.WireSize()
+	if err := n.delay(ctx, respSize); err != nil {
 		return nil, err
 	}
 	n.msgs.Add(2)
-	n.bytes.Add(int64(reqSize + resp.WireSize()))
+	n.bytes.Add(int64(reqSize + respSize))
 	return resp, nil
 }
 

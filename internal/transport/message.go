@@ -112,6 +112,11 @@ type Message struct {
 	// Sum carries a content checksum (scrub plane responses).
 	Sum uint64
 	Err string
+	// pooled is the pooled frame buffer Data aliases when the message was
+	// decoded zero-copy (see AliasData) — not a wire field. It lets a caller
+	// that has fully consumed the message hand the buffer back via Recycle;
+	// messages that are never recycled just leave it to the GC.
+	pooled []byte
 }
 
 // Ok returns the generic success response.
@@ -184,6 +189,12 @@ var (
 	// ErrRemoteRetryable wraps MsgErr responses the peer flagged as
 	// transient (e.g. it received a corrupt request frame).
 	ErrRemoteRetryable = errors.New("transport: retryable remote error")
+	// ErrConnBroken is returned for requests in flight on a multiplexed
+	// connection that died (EOF, reset, write failure). The request may or
+	// may not have reached the server, but every protocol request is
+	// idempotent, so resending — which the mux path does once itself, and
+	// the retry layer does beyond that — is always safe.
+	ErrConnBroken = errors.New("transport: mux connection broken")
 )
 
 // Network is the fabric abstraction: register a server's handler, send

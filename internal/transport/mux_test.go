@@ -1,0 +1,435 @@
+package transport
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"corec/internal/failure"
+	"corec/internal/types"
+)
+
+// muxNetwork returns a TCP fabric with multiplexing enabled and an echo
+// server registered under id 0.
+func muxNetwork(t *testing.T, conns, window int) *TCPNetwork {
+	t.Helper()
+	n := NewTCPNetwork("127.0.0.1")
+	n.ConfigureMux(conns, window)
+	n.Register(0, echoHandler)
+	t.Cleanup(n.Close)
+	return n
+}
+
+// TestWriteFrameIDMatchesEncodeFrame differentially checks the zero-copy
+// scatter-gather writer against the allocate-and-copy framer: byte-for-byte
+// identical frames for the same message, across payload sizes that cross
+// the alias threshold and the split-write path.
+func TestWriteFrameIDMatchesEncodeFrame(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, size := range []int{0, 1, 100, aliasMinBytes - 1, aliasMinBytes, 1 << 20} {
+		m := &Message{Kind: MsgPut, From: -3, Var: "v", Key: "k", Version: 9, Flag: true, Num: 42}
+		if size > 0 {
+			m.Data = make([]byte, size)
+			rng.Read(m.Data)
+		}
+		want := encodeFrameID(m, 77)
+		var got bytes.Buffer
+		if err := writeFrameID(&got, m, 77); err != nil {
+			t.Fatalf("size %d: writeFrameID: %v", size, err)
+		}
+		if !bytes.Equal(got.Bytes(), want) {
+			t.Fatalf("size %d: scatter-gather frame differs from EncodeFrame (%d vs %d bytes)",
+				size, got.Len(), len(want))
+		}
+		reqID, back, err := readFramePooled(bytes.NewReader(got.Bytes()), make([]byte, frameHeaderSize))
+		if err != nil {
+			t.Fatalf("size %d: readFramePooled: %v", size, err)
+		}
+		if reqID != 77 {
+			t.Fatalf("size %d: reqID = %d, want 77", size, reqID)
+		}
+		if back.Var != m.Var || back.Num != m.Num || !bytes.Equal(back.Data, m.Data) {
+			t.Fatalf("size %d: round trip mismatch", size)
+		}
+		Recycle(back)
+	}
+}
+
+// TestAliasDecodeOwnership checks the pooled read path's ownership rules:
+// large payloads alias the frame buffer (which is then withheld from the
+// pool until Recycle), small payloads are copied and the buffer recycled
+// immediately.
+func TestAliasDecodeOwnership(t *testing.T) {
+	big := &Message{Kind: MsgGetBytes, Data: bytes.Repeat([]byte{5}, 64<<10)}
+	frame := encodeFrameID(big, 1)
+	_, m, err := readFramePooled(bytes.NewReader(frame), make([]byte, frameHeaderSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Aliased() {
+		t.Fatal("64KiB payload was copied, want aliased")
+	}
+	if !bytes.Equal(m.Data, big.Data) {
+		t.Fatal("aliased payload corrupted")
+	}
+	// Recycling returns the buffer: a following same-class read should hit
+	// the pool. Double recycle must be a no-op. Under the race detector
+	// sync.Pool randomly discards Puts, so allow a few round trips before
+	// requiring a hit.
+	hits0, _ := BufferPoolStats()
+	Recycle(m)
+	if m.Data != nil || m.Aliased() {
+		t.Fatal("Recycle left the message holding the buffer")
+	}
+	Recycle(m)
+	reused := false
+	for i := 0; i < 8 && !reused; i++ {
+		_, m2, err := readFramePooled(bytes.NewReader(frame), make([]byte, frameHeaderSize))
+		if err != nil {
+			t.Fatal(err)
+		}
+		hits1, _ := BufferPoolStats()
+		reused = hits1 > hits0
+		hits0 = hits1
+		Recycle(m2)
+	}
+	if !reused {
+		t.Fatal("recycled buffer never reused by subsequent reads")
+	}
+
+	small := &Message{Kind: MsgGetBytes, Data: []byte("tiny")}
+	_, m, err = readFramePooled(bytes.NewReader(encodeFrameID(small, 2)), make([]byte, frameHeaderSize))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Aliased() {
+		t.Fatal("4-byte payload aliased a pooled buffer")
+	}
+	if !bytes.Equal(m.Data, small.Data) {
+		t.Fatal("copied payload corrupted")
+	}
+}
+
+// TestPipelinedStreamFuzzCorruptionRealigns fuzzes a pipelined frame
+// stream: several frames back to back with one corrupted mid-stream. Only
+// the corrupted frame's request may fail — with ErrCorruptFrame and its
+// own recovered request ID — and every later frame must decode intact,
+// because the length prefix keeps the stream aligned.
+func TestPipelinedStreamFuzzCorruptionRealigns(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for round := 0; round < 200; round++ {
+		frames := 2 + rng.Intn(6)
+		victim := rng.Intn(frames)
+		var stream bytes.Buffer
+		sizes := make([]int, frames)
+		for i := 0; i < frames; i++ {
+			sizes[i] = rng.Intn(8 << 10)
+			m := &Message{Kind: MsgGetBytes, Num: int64(i), Data: make([]byte, sizes[i])}
+			rng.Read(m.Data)
+			frame := encodeFrameID(m, uint64(100+i))
+			if i == victim {
+				// Corrupt one payload byte (past the header, so the frame
+				// boundary holds and realignment is possible).
+				off := frameHeaderSize + rng.Intn(len(frame)-frameHeaderSize)
+				frame[off] ^= 1 << uint(rng.Intn(8))
+			}
+			stream.Write(frame)
+		}
+		r := bytes.NewReader(stream.Bytes())
+		for i := 0; i < frames; i++ {
+			reqID, m, err := readFramePooled(r, make([]byte, frameHeaderSize))
+			if reqID != uint64(100+i) {
+				t.Fatalf("round %d frame %d: reqID %d, want %d", round, i, reqID, 100+i)
+			}
+			if i == victim {
+				if !errors.Is(err, ErrCorruptFrame) {
+					t.Fatalf("round %d: corrupt frame %d returned %v, want ErrCorruptFrame", round, i, err)
+				}
+				continue
+			}
+			if err != nil {
+				t.Fatalf("round %d: healthy frame %d after corruption: %v", round, i, err)
+			}
+			if m.Num != int64(i) || len(m.Data) != sizes[i] {
+				t.Fatalf("round %d: frame %d decoded wrong (Num=%d len=%d)", round, i, m.Num, len(m.Data))
+			}
+			Recycle(m)
+		}
+	}
+}
+
+// TestMuxConcurrentNoCrosstalk pushes many concurrent requests over a small
+// shared connection set and checks every response reaches its own request.
+func TestMuxConcurrentNoCrosstalk(t *testing.T) {
+	n := muxNetwork(t, 2, 8)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for i := 0; i < 64; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			payload := bytes.Repeat([]byte{byte(i)}, 1+i*137)
+			resp, err := n.Send(context.Background(), -1, 0, &Message{Kind: MsgPing, Num: int64(i), Data: payload})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if resp.Num != int64(i) || !bytes.Equal(resp.Data, payload) {
+				errs <- fmt.Errorf("request %d: response crosstalk", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if live := n.ActiveMuxConns(); live == 0 || live > 2 {
+		t.Fatalf("ActiveMuxConns = %d, want 1..2", live)
+	}
+}
+
+// TestMuxInFlightWindowBounds checks the pipelining window backpressures:
+// with every handler blocked, at most conns*window requests enter flight.
+func TestMuxInFlightWindowBounds(t *testing.T) {
+	gate := make(chan struct{})
+	var entered atomic.Int64
+	n := NewTCPNetwork("127.0.0.1")
+	n.ConfigureMux(1, 4)
+	n.Register(0, func(ctx context.Context, req *Message) *Message {
+		entered.Add(1)
+		<-gate
+		return Ok()
+	})
+	defer n.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, _ = n.Send(context.Background(), -1, 0, &Message{Kind: MsgPing})
+		}()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for entered.Load() < 4 && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(20 * time.Millisecond) // give excess requests a chance to leak
+	if got := n.InFlight(); got > 4 {
+		t.Fatalf("in-flight %d requests with window 4", got)
+	}
+	close(gate)
+	wg.Wait()
+	if got := n.InFlight(); got != 0 {
+		t.Fatalf("in-flight gauge %d after drain, want 0", got)
+	}
+}
+
+// TestMuxBrokenConnSalvagedByRedial strands a request mid-flight by
+// severing its connection; the retry-free mux path itself must salvage the
+// failure on a fresh connection (the mux analogue of the stale-pool
+// redial).
+func TestMuxBrokenConnSalvagedByRedial(t *testing.T) {
+	entered := make(chan struct{})
+	gate := make(chan struct{})
+	var first atomic.Bool
+	n := NewTCPNetwork("127.0.0.1")
+	n.ConfigureMux(1, 8)
+	n.Register(0, func(ctx context.Context, req *Message) *Message {
+		if req.Num == 99 && first.CompareAndSwap(false, true) {
+			entered <- struct{}{}
+			// Park the first attempt until test end: its connection dies
+			// underneath it, so its (unwritable) response is irrelevant.
+			<-gate
+		}
+		return echoHandler(ctx, req)
+	})
+	defer n.Close()
+	defer close(gate) // release the parked handler so Close can drain
+
+	done := make(chan error, 1)
+	go func() {
+		resp, err := n.Send(context.Background(), -1, 0, &Message{Kind: MsgPing, Num: 99})
+		if err == nil && resp.Num != 99 {
+			err = fmt.Errorf("wrong response %d", resp.Num)
+		}
+		done <- err
+	}()
+	<-entered
+	// Sever the connection carrying the in-flight request: the pending
+	// request fails with ErrConnBroken and must be transparently resent on
+	// a freshly dialed connection.
+	if broken := n.BreakConns(0); broken == 0 {
+		t.Fatal("BreakConns severed nothing")
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("request across connection break: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("request stranded after connection break")
+	}
+	if n.MuxRedials() == 0 {
+		t.Fatal("break salvage did not count a mux redial")
+	}
+}
+
+// TestMuxContextCancelAbandonsRequest checks a cancelled request releases
+// its window slot and later responses for it are silently dropped.
+func TestMuxContextCancelAbandonsRequest(t *testing.T) {
+	gate := make(chan struct{})
+	n := NewTCPNetwork("127.0.0.1")
+	n.ConfigureMux(1, 2)
+	n.Register(0, func(ctx context.Context, req *Message) *Message {
+		if req.Num == 1 {
+			<-gate
+		}
+		return echoHandler(ctx, req)
+	})
+	defer n.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if _, err := n.Send(ctx, -1, 0, &Message{Kind: MsgPing, Num: 1}); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("got %v, want deadline exceeded", err)
+	}
+	close(gate) // the late response must be discarded, not crosstalked
+	resp, err := n.Send(context.Background(), -1, 0, &Message{Kind: MsgPing, Num: 2})
+	if err != nil || resp.Num != 2 {
+		t.Fatalf("send after cancel: %v (resp %+v)", err, resp)
+	}
+	if got := n.InFlight(); got != 0 {
+		t.Fatalf("in-flight gauge %d after cancel+drain, want 0", got)
+	}
+}
+
+// TestMuxBreakConnsSeversAndRecovers exercises the fault injector's
+// connection-break hook directly: live mux connections die, idle ones are
+// culled, and the next request transparently dials fresh.
+func TestMuxBreakConnsSeversAndRecovers(t *testing.T) {
+	n := muxNetwork(t, 2, 8)
+	for i := 0; i < 4; i++ {
+		if _, err := n.Send(context.Background(), -1, 0, &Message{Kind: MsgPing}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if broken := n.BreakConns(0); broken == 0 {
+		t.Fatal("BreakConns severed nothing")
+	}
+	if live := n.ActiveMuxConns(); live != 0 {
+		t.Fatalf("%d live mux conns after BreakConns", live)
+	}
+	resp, err := n.Send(context.Background(), -1, 0, &Message{Kind: MsgPing, Num: 5})
+	if err != nil || resp.Num != 5 {
+		t.Fatalf("send after BreakConns: %v", err)
+	}
+}
+
+// TestChaosMuxConcurrentClientsUnderFaults is the transport-level chaos
+// test: concurrent clients share multiplexed connections while the seeded
+// injector drops, corrupts (both directions), severs connections, and a
+// transient partition opens and heals. Every request must either succeed
+// with its own response (no crosstalk) or fail with a typed retryable
+// error, and the salvage/injection counters must move.
+func TestChaosMuxConcurrentClientsUnderFaults(t *testing.T) {
+	inner := NewTCPNetwork("127.0.0.1")
+	inner.ConfigureMux(2, 8)
+	inner.Register(0, func(ctx context.Context, req *Message) *Message {
+		time.Sleep(200 * time.Microsecond) // keep requests in flight so breaks hit pipelined neighbours
+		return echoHandler(ctx, req)
+	})
+	defer inner.Close()
+	plan := &failure.FaultPlan{
+		Seed: 23,
+		Links: []failure.LinkFault{{
+			DropProb:        0.03,
+			CorruptProb:     0.03,
+			RespCorruptProb: 0.03,
+			ConnBreakProb:   0.02,
+		}},
+	}
+	fn := NewFaultyNetwork(inner, plan)
+	policy := RetryPolicy{MaxAttempts: 8, BaseBackoff: 200 * time.Microsecond, MaxBackoff: 5 * time.Millisecond, JitterFrac: 0.5}
+
+	const workers, perWorker = 8, 60
+	var wg sync.WaitGroup
+	var ok, retried atomic.Int64
+	errs := make(chan error, workers*perWorker)
+	var healOnce sync.Once
+	heal := func() {}
+	var healMu sync.Mutex
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				if w == 0 && i == perWorker/3 {
+					// Open a transient partition mid-run; heal it shortly
+					// after so retries can ride it out.
+					healOnce.Do(func() {
+						h := fn.Partition([]types.ServerID{0}, []types.ServerID{1})
+						healMu.Lock()
+						heal = h
+						healMu.Unlock()
+						time.AfterFunc(10*time.Millisecond, func() {
+							healMu.Lock()
+							defer healMu.Unlock()
+							heal()
+						})
+					})
+				}
+				num := int64(w*perWorker + i)
+				resp, attempts, err := policy.Send(context.Background(), fn, types.ServerID(1), 0, &Message{Kind: MsgPing, Num: num})
+				if attempts > 1 {
+					retried.Add(1)
+				}
+				if err != nil {
+					if !IsRetryable(err) {
+						errs <- fmt.Errorf("worker %d op %d: terminal error %v", w, i, err)
+					}
+					continue
+				}
+				if resp.Num != num {
+					errs <- fmt.Errorf("worker %d op %d: crosstalk (got %d)", w, i, resp.Num)
+					continue
+				}
+				ok.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	total := int64(workers * perWorker)
+	if ok.Load() < total*9/10 {
+		t.Fatalf("only %d/%d requests succeeded under faults", ok.Load(), total)
+	}
+	st := fn.Stats()
+	if st.Drops == 0 || st.Corrupts == 0 || st.RespCorrupts == 0 || st.ConnBreaks == 0 {
+		t.Fatalf("injector idle: %+v", st)
+	}
+	if retried.Load() == 0 {
+		t.Fatal("no request ever retried despite injected faults")
+	}
+	// Requests stranded on severed connections must have been salvaged by
+	// the mux redial path at least once across this much connection churn.
+	if inner.MuxRedials() == 0 {
+		t.Fatal("no mux redial despite injected connection breaks")
+	}
+	// The fabric must end the run quiescent and usable.
+	if _, _, err := policy.Send(context.Background(), fn, -1, 0, &Message{Kind: MsgPing, Num: -7}); err != nil {
+		t.Fatalf("fabric unusable after chaos: %v", err)
+	}
+	if got := inner.InFlight(); got != 0 {
+		t.Fatalf("in-flight gauge %d after chaos drain, want 0", got)
+	}
+}

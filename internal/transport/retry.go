@@ -68,6 +68,7 @@ func IsRetryable(err error) bool {
 		errors.Is(err, ErrPartitioned),
 		errors.Is(err, ErrCorruptFrame),
 		errors.Is(err, ErrRemoteRetryable),
+		errors.Is(err, ErrConnBroken),
 		errors.Is(err, context.DeadlineExceeded),
 		errors.Is(err, io.EOF),
 		errors.Is(err, io.ErrUnexpectedEOF):

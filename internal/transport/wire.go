@@ -16,10 +16,26 @@ import (
 
 const maxWireLen = 1 << 30 // sanity bound on any length prefix
 
-type encoder struct{ buf []byte }
+type encoder struct {
+	buf []byte
+	// splitData, when set, makes bytes() emit only the length prefix and
+	// record the payload's insertion point in *dataMark: the caller sends
+	// the Data slice itself as a separate scatter-gather segment, so the
+	// payload is never copied into the wire buffer.
+	splitData bool
+	dataMark  *int
+}
 
-func (e *encoder) u8(v uint8)   { e.buf = append(e.buf, v) }
-func (e *encoder) bool(v bool)  { e.u8(map[bool]uint8{false: 0, true: 1}[v]) }
+func (e *encoder) u8(v uint8) { e.buf = append(e.buf, v) }
+
+func (e *encoder) bool(v bool) {
+	if v {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+}
+
 func (e *encoder) u32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
 func (e *encoder) u64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
 func (e *encoder) i64(v int64)  { e.u64(uint64(v)) }
@@ -29,8 +45,14 @@ func (e *encoder) str(s string) {
 	e.buf = append(e.buf, s...)
 }
 
+// bytes is only used for the Message.Data payload, which is why the
+// split-mode shortcut can assume it runs at most once per message.
 func (e *encoder) bytes(b []byte) {
 	e.u32(uint32(len(b)))
+	if e.splitData {
+		*e.dataMark = len(e.buf)
+		return
+	}
 	e.buf = append(e.buf, b...)
 }
 
@@ -79,6 +101,11 @@ type decoder struct {
 	buf []byte
 	off int
 	err error
+	// aliasData, when set, lets bytes() return a sub-slice of buf for large
+	// payloads instead of copying; aliased records whether it did, because
+	// ownership of buf then transfers to the Message.
+	aliasData bool
+	aliased   bool
 }
 
 func (d *decoder) fail(what string) {
@@ -132,6 +159,12 @@ func (d *decoder) str() string {
 	return s
 }
 
+// aliasMinBytes is the smallest Data payload the alias-mode decoder hands
+// out as a sub-slice of the frame buffer. Below it the copy is cheaper than
+// losing the buffer to the pool; the 4·n ≥ cap guard additionally refuses
+// to pin a large pooled buffer for a comparatively small payload.
+const aliasMinBytes = 4 << 10
+
 func (d *decoder) bytes() []byte {
 	n := d.u32()
 	if d.err != nil || n > maxWireLen || d.off+int(n) > len(d.buf) {
@@ -140,6 +173,12 @@ func (d *decoder) bytes() []byte {
 	}
 	if n == 0 {
 		return nil
+	}
+	if d.aliasData && int(n) >= aliasMinBytes && 4*int(n) >= cap(d.buf) {
+		b := d.buf[d.off : d.off+int(n) : d.off+int(n)]
+		d.off += int(n)
+		d.aliased = true
+		return b
 	}
 	b := make([]byte, n)
 	copy(b, d.buf[d.off:])
@@ -214,10 +253,47 @@ func (d *decoder) stripeInfo() *types.StripeInfo {
 	return s
 }
 
+// EncodeOpt tunes one Encode call. Options exist so the zero-copy framing
+// layer can reuse the single canonical field walk below instead of keeping
+// a drift-prone duplicate of it.
+type EncodeOpt func(*encoder)
+
+// SplitData makes Encode emit everything except the Data payload bytes:
+// the length prefix is written as usual and the payload's insertion offset
+// is stored in *mark, so the caller can write buf[:mark], m.Data, buf[mark:]
+// as one scatter-gather frame without ever copying the payload.
+func SplitData(mark *int) EncodeOpt {
+	return func(e *encoder) {
+		e.splitData = true
+		e.dataMark = mark
+	}
+}
+
+// DecodeOpt tunes one Decode call.
+type DecodeOpt func(*decoder)
+
+// AliasData makes Decode return large Data payloads as sub-slices of buf
+// instead of copies. When aliasing happens, ownership of buf transfers to
+// the Message (recorded in its pooled handle, consumed by Recycle) and the
+// buffer must not be reused or recycled by the caller; Aliased reports the
+// outcome.
+func AliasData() DecodeOpt {
+	return func(d *decoder) {
+		d.aliasData = true
+	}
+}
+
+// Aliased reports whether the message's Data aliases the decode buffer
+// (ownership of the buffer rests with the message).
+func (m *Message) Aliased() bool { return m.pooled != nil }
+
 // Encode serializes the message, appending to dst (which may be nil) and
 // returning the extended slice.
-func Encode(m *Message, dst []byte) []byte {
+func Encode(m *Message, dst []byte, opts ...EncodeOpt) []byte {
 	e := encoder{buf: dst}
+	for _, o := range opts {
+		o(&e)
+	}
 	e.u8(uint8(m.Kind))
 	e.i64(int64(m.From))
 	e.str(m.Var)
@@ -251,12 +327,16 @@ func Encode(m *Message, dst []byte) []byte {
 	e.i64(m.Num)
 	e.u64(m.Sum)
 	e.str(m.Err)
+	_ = m.pooled // buffer-ownership bookkeeping, deliberately not a wire field
 	return e.buf
 }
 
 // Decode parses a message previously produced by Encode.
-func Decode(buf []byte) (*Message, error) {
+func Decode(buf []byte, opts ...DecodeOpt) (*Message, error) {
 	d := decoder{buf: buf}
+	for _, o := range opts {
+		o(&d)
+	}
 	m := &Message{}
 	k := d.u8()
 	if k >= uint8(kindCount) {
@@ -311,6 +391,9 @@ func Decode(buf []byte) (*Message, error) {
 	}
 	if d.off != len(buf) {
 		return nil, fmt.Errorf("transport: %d trailing bytes after message", len(buf)-d.off)
+	}
+	if d.aliased {
+		m.pooled = buf
 	}
 	return m, nil
 }

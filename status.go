@@ -69,6 +69,33 @@ type FabricStatus struct {
 	// Encoding reports the erasure engine's configuration and decode-matrix
 	// cache effectiveness.
 	Encoding EncodingStatus
+	// Transport reports the TCP fabric's multiplexing and buffer-pool view;
+	// zero for the in-process fabric.
+	Transport TransportStatus
+}
+
+// TransportStatus aggregates the TCP fabric's transport-performance view:
+// the multiplexing knobs in effect, live connection and in-flight gauges,
+// redial salvage counters, and frame buffer-pool effectiveness.
+type TransportStatus struct {
+	// MuxConnsPerPeer is the configured connection count per peer
+	// (0 = baseline one-request-per-connection discipline).
+	MuxConnsPerPeer int
+	// MaxInFlight is the pipelining window per multiplexed connection.
+	MaxInFlight int
+	// ActiveMuxConns is the current number of live multiplexed connections.
+	ActiveMuxConns int
+	// InFlight is the current number of requests in mux flight.
+	InFlight int64
+	// MuxRedials counts requests salvaged by replacing a broken multiplexed
+	// connection; StaleRedials is the baseline pooled-connection analogue.
+	MuxRedials   int64
+	StaleRedials int64
+	// PoolHits/PoolMisses count frame-buffer pool outcomes process-wide;
+	// PoolHitRate is hits/(hits+misses).
+	PoolHits    int64
+	PoolMisses  int64
+	PoolHitRate float64
 }
 
 // EncodingStatus aggregates the parallel erasure engine's view: the worker
@@ -129,6 +156,18 @@ func (c *Cluster) FabricStatus() FabricStatus {
 	}
 	if c.faults != nil {
 		st.Injected = c.faults.Stats()
+	}
+	if tn := c.tcpNet(); tn != nil {
+		ts := &st.Transport
+		ts.MuxConnsPerPeer, ts.MaxInFlight = tn.MuxConfig()
+		ts.ActiveMuxConns = tn.ActiveMuxConns()
+		ts.InFlight = tn.InFlight()
+		ts.MuxRedials = tn.MuxRedials()
+		ts.StaleRedials = tn.Redials()
+		ts.PoolHits, ts.PoolMisses = transport.BufferPoolStats()
+		if total := ts.PoolHits + ts.PoolMisses; total > 0 {
+			ts.PoolHitRate = float64(ts.PoolHits) / float64(total)
+		}
 	}
 	if c.codec != nil {
 		st.Encoding.Workers = c.codec.Workers()

@@ -53,6 +53,62 @@ func TestTCPClusterEndToEnd(t *testing.T) {
 	}
 }
 
+// TestTCPClusterMuxEndToEnd runs the same full-cluster paths over the
+// multiplexed transport: pipelined connections, pooled zero-copy frames,
+// and request-ID correlation, including a primary kill and degraded read.
+// It also checks that FabricStatus surfaces the transport gauges.
+func TestTCPClusterMuxEndToEnd(t *testing.T) {
+	cfg := DefaultConfig(8)
+	cfg.Transport = "tcp"
+	cfg.MuxConnsPerPeer = 2
+	cfg.MaxInFlight = 16
+	cluster, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	client := cluster.NewClient()
+	ctx := context.Background()
+	box := Box3D(0, 0, 0, 8, 8, 8)
+	data := regionData(t, box, 8, 37)
+	if err := client.Put(ctx, "temp", box, 1, data); err != nil {
+		t.Fatal(err)
+	}
+	got, err := client.Get(ctx, "temp", box, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("mux round trip corrupted data")
+	}
+
+	st := cluster.FabricStatus()
+	ts := st.Transport
+	if ts.MuxConnsPerPeer != 2 || ts.MaxInFlight != 16 {
+		t.Fatalf("transport status knobs = (%d, %d), want (2, 16)", ts.MuxConnsPerPeer, ts.MaxInFlight)
+	}
+	if ts.ActiveMuxConns == 0 {
+		t.Fatal("no active multiplexed connections after staging traffic")
+	}
+	if ts.PoolHits+ts.PoolMisses == 0 {
+		t.Fatal("frame-buffer pool never used on the mux path")
+	}
+
+	metas, err := client.Query(ctx, "temp", box)
+	if err != nil || len(metas) != 1 {
+		t.Fatalf("query: %v (%d metas)", err, len(metas))
+	}
+	cluster.Kill(metas[0].Primary)
+	got, err = client.Get(ctx, "temp", box, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("mux degraded read corrupted data")
+	}
+}
+
 // TestRemoteClusterClient connects a separate client-side fabric to a
 // TCP-hosted service via its address map — the corec-cli path, covering
 // cross-process access without a second process.

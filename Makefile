@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck lint test race short scrubrace bench ci clean
+.PHONY: all build vet staticcheck lint test race short scrubrace churnrace bench ci clean
 
 all: ci
 
@@ -42,6 +42,12 @@ short:
 scrubrace:
 	$(GO) test -race -run 'TestScrub|TestChaos' ./...
 
+# Race-detector pass focused on elastic membership churn: gossip agents,
+# dynamic ring, and the paced migrator running against foreground traffic.
+churnrace:
+	$(GO) test -race -run 'TestElastic|TestRebalance' .
+	$(GO) test -race ./internal/membership ./internal/topology
+
 # bench smoke-runs every Go benchmark once, then regenerates the erasure
 # engine's regression artifact (encode workers=1 vs N, cold vs cached decode
 # matrices at 4+2 and 8+3). BENCH_erasure.json is committed so perf
@@ -50,8 +56,9 @@ bench:
 	$(GO) test -bench . -benchtime 1x -run '^$$' ./...
 	$(GO) run ./cmd/corec-bench -experiment erasure -json BENCH_erasure.json
 	$(GO) run ./cmd/corec-bench -experiment transport -json BENCH_transport.json
+	$(GO) run ./cmd/corec-bench -experiment membership -json BENCH_membership.json
 
-ci: vet staticcheck lint build race scrubrace test
+ci: vet staticcheck lint build race scrubrace churnrace test
 
 clean:
 	$(GO) clean ./...

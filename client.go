@@ -34,6 +34,14 @@ type Client struct {
 	cluster *Cluster
 	id      types.ServerID // negative: client address space
 	col     *metrics.Collector
+
+	// viewMu guards the elastic member-view cache: the ring's member list
+	// at viewEpoch. Clients refresh it only when the ring epoch moves, so
+	// steady-state requests never take the ring's lock for a full copy.
+	viewMu    sync.Mutex
+	view      []types.ServerID
+	viewEpoch uint64
+	viewInit  bool
 }
 
 // NewClient returns a client bound to the cluster.
@@ -43,6 +51,43 @@ func (c *Cluster) NewClient() *Client {
 		id:      types.ServerID(-1 - clientSeq.Add(1)),
 		col:     c.col,
 	}
+}
+
+// memberView returns the servers a directory-wide operation should address:
+// the static fleet, or — in elastic mode — the ring's current membership,
+// cached per client and refreshed when the ring epoch changes.
+func (cl *Client) memberView() []types.ServerID {
+	c := cl.cluster
+	if c.elastic == nil {
+		ids := make([]types.ServerID, c.cfg.Servers)
+		for i := range ids {
+			ids[i] = types.ServerID(i)
+		}
+		return ids
+	}
+	epoch := c.elastic.ring.Epoch()
+	cl.viewMu.Lock()
+	defer cl.viewMu.Unlock()
+	if !cl.viewInit || cl.viewEpoch != epoch {
+		cl.view = c.elastic.ring.Members()
+		cl.viewEpoch = epoch
+		cl.viewInit = true
+	}
+	return cl.view
+}
+
+// dirGroupFor returns the servers hosting the directory record for key,
+// matching the server-side dirGroup computation on both placement schemes.
+func (cl *Client) dirGroupFor(key string) []types.ServerID {
+	c := cl.cluster
+	if c.elastic != nil {
+		mirrors := c.cfg.NLevel
+		if mirrors < 1 {
+			mirrors = 1
+		}
+		return c.ringDirGroup(key, mirrors)
+	}
+	return placement.DirectoryGroup(c.place.DirectoryShard(key), c.cfg.Servers, c.cfg.NLevel)
 }
 
 // send delivers one RPC under the cluster's retry policy — per-attempt
@@ -124,16 +169,20 @@ func (cl *Client) putObject(ctx context.Context, name string, box Box, version V
 	if err == nil {
 		return resp.AsError()
 	}
-	if c.groups == nil || ctx.Err() != nil || !transport.IsRetryable(err) {
+	if ctx.Err() != nil || !transport.IsRetryable(err) {
 		return fmt.Errorf("corec: put %s: %w", id, err)
 	}
-	// Write-path failover: the placed primary stayed unreachable through
-	// the whole retry budget, so hand the write to its replication-group
-	// successor. The successor's put path makes it the new primary (the
-	// directory flips, the original primary becomes a listed replica), so
-	// the object keeps its full resilience level; the reroute is logged so
-	// the monitor reconciles ownership once the original recovers.
-	for _, alt := range c.groups.ReplicaTargets(primary, c.cfg.NLevel) {
+	// Write-path failover: the placed primary stayed unreachable (or, in
+	// elastic mode, fenced the write while draining) through the whole
+	// retry budget, so hand the write to a successor. The successor's put
+	// path makes it the new primary (the directory flips, the original
+	// primary becomes a listed replica), so the object keeps its full
+	// resilience level; the reroute is logged so the monitor reconciles
+	// ownership once the original recovers.
+	for _, alt := range cl.failoverTargets(id, primary) {
+		if alt == primary {
+			continue
+		}
 		resp, ferr := cl.send(ctx, alt, msg)
 		if ferr != nil {
 			continue
@@ -145,6 +194,28 @@ func (cl *Client) putObject(ctx context.Context, name string, box Box, version V
 		return nil
 	}
 	return fmt.Errorf("corec: put %s: %w", id, err)
+}
+
+// failoverTargets lists the servers a failed put should try next. Static
+// fleets use the replication-group window. Elastic fleets re-resolve the
+// key against the ring first — a drain or gossip eviction may already have
+// moved the arc to a new owner — then walk the failed primary's ring
+// successors (stable even after it left the ring).
+func (cl *Client) failoverTargets(id types.ObjectID, primary types.ServerID) []types.ServerID {
+	c := cl.cluster
+	if c.elastic != nil {
+		ring := c.elastic.ring
+		out := make([]types.ServerID, 0, c.cfg.NLevel+2)
+		if cur := ring.OwnerKey(id.Key()); cur != primary {
+			out = append(out, cur)
+		}
+		out = append(out, ring.Targets(primary, c.cfg.NLevel+1)...)
+		return out
+	}
+	if c.groups == nil {
+		return nil
+	}
+	return c.groups.ReplicaTargets(primary, c.cfg.NLevel)
 }
 
 // Get reads the region of the variable at the given version, returning a
@@ -241,16 +312,16 @@ func (cl *Client) Delete(ctx context.Context, name string, box Box) (int, error)
 }
 
 func (cl *Client) queryDirectory(ctx context.Context, name string, box Box) ([]types.ObjectMeta, error) {
-	c := cl.cluster
 	start := time.Now()
 	defer func() { cl.col.Add(metrics.Metadata, time.Since(start)) }()
 	type result struct {
 		metas []types.ObjectMeta
 		err   error
 	}
-	n := c.cfg.Servers
+	members := cl.memberView()
+	n := len(members)
 	results := make(chan result, n)
-	for i := 0; i < n; i++ {
+	for _, target := range members {
 		go func(target types.ServerID) {
 			msg := &transport.Message{Kind: transport.MsgMetaQuery, Var: name, Box: box}
 			resp, err := cl.send(ctx, target, msg)
@@ -259,7 +330,7 @@ func (cl *Client) queryDirectory(ctx context.Context, name string, box Box) ([]t
 				return
 			}
 			results <- result{metas: resp.Metas}
-		}(types.ServerID(i))
+		}(target)
 	}
 	best := make(map[string]types.ObjectMeta)
 	reachable := 0
@@ -330,11 +401,9 @@ func (cl *Client) fetchObject(ctx context.Context, meta *types.ObjectMeta) ([]by
 // lookupMeta fetches a single object's metadata record from its shard
 // group.
 func (cl *Client) lookupMeta(ctx context.Context, key string) (*types.ObjectMeta, bool) {
-	c := cl.cluster
 	start := time.Now()
 	defer func() { cl.col.Add(metrics.Metadata, time.Since(start)) }()
-	group := placement.DirectoryGroup(c.place.DirectoryShard(key), c.cfg.Servers, c.cfg.NLevel)
-	for _, t := range group {
+	for _, t := range cl.dirGroupFor(key) {
 		resp, err := cl.send(ctx, t, &transport.Message{Kind: transport.MsgMetaLookup, Key: key})
 		if err == nil && resp.Kind == transport.MsgOK && resp.Flag {
 			return resp.Meta, true
@@ -428,12 +497,10 @@ func (cl *Client) fetchEncoded(ctx context.Context, meta *types.ObjectMeta) ([]b
 
 // lookupStripe resolves stripe geometry from the directory pair.
 func (cl *Client) lookupStripe(ctx context.Context, id types.StripeID) (*types.StripeInfo, bool) {
-	c := cl.cluster
 	start := time.Now()
 	defer func() { cl.col.Add(metrics.Metadata, time.Since(start)) }()
 	key := id.String()
-	group := placement.DirectoryGroup(c.place.DirectoryShard(key), c.cfg.Servers, c.cfg.NLevel)
-	for _, t := range group {
+	for _, t := range cl.dirGroupFor(key) {
 		resp, err := cl.send(ctx, t, &transport.Message{Kind: transport.MsgStripeLookup, Stripe: id})
 		if err == nil && resp.Kind == transport.MsgOK && resp.Flag {
 			return resp.StripeInfo, true

@@ -7,8 +7,8 @@
 // Usage:
 //
 //	corec-bench -experiment fig2|fig4|fig8|fig9|fig10|fig11|fig12|table1|
-//	            table2|read-penalty|model-validation|erasure|transport|all
-//	            [-quick] [-csv dir] [-json file]
+//	            table2|read-penalty|model-validation|erasure|transport|
+//	            membership|all [-quick] [-csv dir] [-json file]
 //
 // The erasure experiment measures the parallel erasure-coding engine
 // (encode workers=1 vs N, cold vs cached decode matrices) and, with -json,
@@ -31,7 +31,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run: fig2, fig4, fig8, fig9, fig10, fig11, fig12, table1, table2, read-penalty, model-validation, erasure, transport, or all")
+	experiment := flag.String("experiment", "all", "which experiment to run: fig2, fig4, fig8, fig9, fig10, fig11, fig12, table1, table2, read-penalty, model-validation, erasure, transport, membership, or all")
 	quick := flag.Bool("quick", false, "trim sweeps for a fast smoke run")
 	csvDir := flag.String("csv", "", "also write CSV files into this directory")
 	jsonPath := flag.String("json", "", "write the erasure experiment's report to this JSON file")
@@ -190,6 +190,15 @@ func run(experiment string, quick bool, csvDir string) error {
 		if err := writeBenchJSON(rep); err != nil {
 			return err
 		}
+	case "membership":
+		rep, err := harness.RunMembershipBench(quick)
+		if err != nil {
+			return err
+		}
+		harness.WriteMembershipBench(out, rep)
+		if err := writeBenchJSON(rep); err != nil {
+			return err
+		}
 	case "read-penalty":
 		trials := 5
 		if quick {
@@ -213,7 +222,7 @@ func run(experiment string, quick bool, csvDir string) error {
 		saved := benchJSONPath
 		benchJSONPath = ""
 		defer func() { benchJSONPath = saved }()
-		for _, e := range []string{"table1", "fig2", "fig4", "fig8", "fig9", "fig10", "fig11", "fig12", "read-penalty", "model-validation", "erasure", "transport"} {
+		for _, e := range []string{"table1", "fig2", "fig4", "fig8", "fig9", "fig10", "fig11", "fig12", "read-penalty", "model-validation", "erasure", "transport", "membership"} {
 			fmt.Fprintf(out, "==== %s ====\n", e)
 			if err := run(e, quick, csvDir); err != nil {
 				return fmt.Errorf("%s: %w", e, err)

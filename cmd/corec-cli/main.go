@@ -8,6 +8,21 @@
 //	corec-cli -addr-file corec-addrs.json put  -var demo -offset 0 -data "hello staging"
 //	corec-cli -addr-file corec-addrs.json get  -var demo -offset 0 -len 13
 //	corec-cli -addr-file corec-addrs.json query -var demo
+//
+// When the service runs with elastic membership (corec-server -membership),
+// pass -membership so data commands place on the fleet's dynamic ring
+// (pulled as a gossip snapshot at startup) instead of a static server
+// count; the gossip control plane is reachable too:
+//
+//	corec-cli -addr-file corec-addrs.json -membership put -var demo -data "hi"
+//	corec-cli -addr-file corec-addrs.json members
+//	corec-cli -addr-file corec-addrs.json drain -server 3
+//	corec-cli -addr-file corec-addrs.json join
+//
+// members pulls the fleet's gossip view; drain asks one server to hand off
+// its data and leave; join asks the host to admit a fresh server. Servers
+// admitted after startup gossip their addresses inside the host process —
+// re-read the addr map (or use members) to see them from outside.
 package main
 
 import (
@@ -16,6 +31,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 
 	"corec"
@@ -28,6 +44,7 @@ func main() {
 	k := flag.Int("k", 3, "service Reed-Solomon data shards")
 	muxConns := flag.Int("mux-conns", 0, "multiplexed connections per peer; must match the corec-server setting")
 	maxInFlight := flag.Int("max-inflight", 0, "pipelining window per multiplexed connection (0 = default)")
+	elastic := flag.Bool("membership", false, "service runs elastic membership (corec-server -membership); place on its dynamic ring")
 	flag.Parse()
 	args := flag.Args()
 	if len(args) < 1 {
@@ -51,6 +68,9 @@ func main() {
 	if m, err := parseMode(*modeName); err == nil {
 		cfg.Mode = m
 	}
+	if *elastic {
+		cfg.Membership = &corec.MembershipConfig{}
+	}
 	cluster, err := corec.NewRemoteCluster(cfg, addrs)
 	if err != nil {
 		fatal(err)
@@ -65,6 +85,7 @@ func main() {
 	payload := sub.String("data", "", "payload for put")
 	length := sub.Int64("len", 0, "length for get")
 	version := sub.Int64("version", 1, "data version (time step)")
+	drainID := sub.Int("server", -1, "server to drain")
 	_ = sub.Parse(args[1:]) // ExitOnError: Parse never returns an error
 
 	switch args[0] {
@@ -96,6 +117,30 @@ func main() {
 			fmt.Printf("%s v%d %dB state=%v primary=%d\n", m.ID, m.Version, m.Size, m.State, m.Primary)
 		}
 		fmt.Printf("%d objects\n", len(metas))
+	case "members":
+		updates, err := client.MemberSnapshot(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		sort.Slice(updates, func(i, j int) bool { return updates[i].ID < updates[j].ID })
+		for _, u := range updates {
+			fmt.Printf("server %d: %s inc=%d domain=%d addr=%s\n",
+				u.ID, u.State, u.Incarnation, u.Domain, u.Addr)
+		}
+		fmt.Printf("%d members\n", len(updates))
+	case "drain":
+		if *drainID < 0 {
+			fatal(fmt.Errorf("drain requires -server <id>"))
+		}
+		if err := client.RequestDrain(ctx, corec.ServerID(*drainID)); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("drain of server %d started; it hands off its data and leaves via gossip\n", *drainID)
+	case "join":
+		if err := client.RequestJoin(ctx); err != nil {
+			fatal(err)
+		}
+		fmt.Println("join accepted; the host is admitting a fresh server")
 	case "status":
 		for _, s := range client.Status(ctx) {
 			if !s.Alive {
@@ -129,7 +174,7 @@ func parseMode(s string) (corec.Mode, error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: corec-cli [-addr-file f] put|get|query|status [sub-flags]")
+	fmt.Fprintln(os.Stderr, "usage: corec-cli [-addr-file f] put|get|query|status|members|join|drain [sub-flags]")
 	os.Exit(2)
 }
 

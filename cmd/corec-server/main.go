@@ -7,11 +7,17 @@
 //
 //	corec-server [-servers 8] [-mode corec] [-addr-file corec-addrs.json]
 //	             [-host 127.0.0.1] [-nlevel 1] [-k 3] [-s 0.67]
-//	             [-mux-conns 0] [-max-inflight 0]
+//	             [-mux-conns 0] [-max-inflight 0] [-membership]
 //
 // -mux-conns enables the multiplexed transport (pipelined connections with
 // pooled zero-copy frames); servers then expect request IDs on the stream,
 // so every client of the service must be started with the same setting.
+//
+// -membership starts the fleet elastic: every server runs a SWIM gossip
+// agent, placement uses the dynamic failure-domain ring, and the service
+// accepts corec-cli members/join/drain control requests. The addr-file is
+// rewritten whenever the fleet grows so external clients can pick up
+// admitted servers.
 package main
 
 import (
@@ -37,6 +43,7 @@ func main() {
 	s := flag.Float64("s", 0.67, "storage efficiency constraint")
 	muxConns := flag.Int("mux-conns", 0, "multiplexed connections per peer (0 = one request per connection); clients must match")
 	maxInFlight := flag.Int("max-inflight", 0, "pipelining window per multiplexed connection (0 = default)")
+	elastic := flag.Bool("membership", false, "run elastic membership: SWIM gossip failure detection, dynamic ring, corec-cli join/drain control")
 	flag.Parse()
 
 	mode, err := policy.ParseMode(*modeName)
@@ -52,6 +59,9 @@ func main() {
 	cfg.ListenHost = *host
 	cfg.MuxConnsPerPeer = *muxConns
 	cfg.MaxInFlight = *maxInFlight
+	if *elastic {
+		cfg.Membership = &corec.MembershipConfig{}
+	}
 
 	cluster, err := corec.NewCluster(cfg)
 	if err != nil {
@@ -59,12 +69,19 @@ func main() {
 	}
 	defer cluster.Close()
 
-	addrs := cluster.ServerAddrs()
-	data, err := json.MarshalIndent(addrs, "", "  ")
-	if err != nil {
-		fatal(err)
+	writeAddrs := func() (map[corec.ServerID]string, error) {
+		addrs := cluster.ServerAddrs()
+		data, err := json.MarshalIndent(addrs, "", "  ")
+		if err != nil {
+			return nil, err
+		}
+		if err := os.WriteFile(*addrFile, data, 0o644); err != nil {
+			return nil, err
+		}
+		return addrs, nil
 	}
-	if err := os.WriteFile(*addrFile, data, 0o644); err != nil {
+	addrs, err := writeAddrs()
+	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("corec-server: %d servers up (%s policy); address map in %s\n",
@@ -72,12 +89,43 @@ func main() {
 	for id, addr := range addrs {
 		fmt.Printf("  server %d -> %s\n", id, addr)
 	}
+	if *elastic {
+		fmt.Println("elastic membership on: corec-cli members|join|drain available")
+		// Keep the published address map current as the fleet changes, so
+		// external clients can re-read it after a join or drain.
+		go func() {
+			for ev := range cluster.MemberEvents() {
+				fmt.Printf("membership: server %d %s (incarnation %d)\n",
+					ev.ID, memberEventName(ev.Kind), ev.Incarnation)
+				if _, err := writeAddrs(); err != nil {
+					fmt.Fprintf(os.Stderr, "corec-server: rewriting %s: %v\n", *addrFile, err)
+				}
+			}
+		}()
+	}
 	fmt.Println("press Ctrl-C to stop")
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
 	<-sig
 	fmt.Println("\nshutting down")
+}
+
+func memberEventName(k corec.MembershipEventKind) string {
+	switch k {
+	case corec.MemberJoined:
+		return "joined"
+	case corec.MemberSuspected:
+		return "suspected"
+	case corec.MemberRefuted:
+		return "refuted suspicion"
+	case corec.MemberDied:
+		return "died"
+	case corec.MemberLeft:
+		return "left"
+	default:
+		return "changed"
+	}
 }
 
 func fatal(err error) {

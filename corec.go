@@ -33,6 +33,7 @@ import (
 	"corec/internal/erasure"
 	"corec/internal/failure"
 	"corec/internal/geometry"
+	"corec/internal/membership"
 	"corec/internal/metrics"
 	"corec/internal/placement"
 	"corec/internal/policy"
@@ -180,6 +181,15 @@ type Config struct {
 	// tuning. Nil disables background scrubbing; Cluster.ScrubNow still
 	// works for on-demand sweeps.
 	Scrub *ScrubConfig
+	// Membership, when non-nil, enables elastic membership: SWIM-style
+	// gossip failure detection on every server, placement over a dynamic
+	// consistent-hash ring, and runtime Join/Drain/Leave. Nil keeps the
+	// static fleet with central monitor heartbeats.
+	Membership *MembershipConfig
+	// Rebalance tunes the paced live migrator used by Drain and Rebalance;
+	// nil uses defaults (64 MiB/s, 4 MiB burst). Only meaningful with
+	// Membership set.
+	Rebalance *RebalanceConfig
 }
 
 // DefaultConfig returns a CoREC cluster configuration over n servers
@@ -246,6 +256,10 @@ type Cluster struct {
 	polCfg  policy.Config
 	mu      sync.Mutex
 	servers map[types.ServerID]*server.Server
+
+	// elastic holds the membership plane (gossip agents, dynamic ring,
+	// rebalance tallies); nil for static fleets.
+	elastic *elasticState
 
 	// rerouteMu guards the write-failover log: puts rerouted away from an
 	// unreachable primary, pending reconciliation once it recovers.
@@ -315,7 +329,13 @@ func NewCluster(cfg Config) (*Cluster, error) {
 	}
 	groups, err := topology.NewGroups(top, replicaSize, codingSize)
 	if err != nil {
-		return nil, err
+		if cfg.Membership == nil {
+			return nil, err
+		}
+		// Elastic fleets place via the dynamic ring; the static group
+		// geometry is optional (and its divisibility constraint would
+		// otherwise forbid fleet sizes joins and drains naturally produce).
+		groups = nil
 	}
 	var net transport.Network
 	switch cfg.Transport {
@@ -375,11 +395,25 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		polCfg:  polCfg,
 		servers: make(map[types.ServerID]*server.Server),
 	}
+	if cfg.Membership != nil {
+		c.elastic = newElasticState(*cfg.Membership)
+		// Seed the ring with the initial fleet before any server starts, so
+		// every agent bootstraps a complete view and the first servers place
+		// writes over the whole fleet, not just the already-started prefix.
+		for i := 0; i < cfg.Servers; i++ {
+			c.elastic.ring.Join(types.ServerID(i), c.domainFor(types.ServerID(i)))
+		}
+		c.place = placement.NewRing(c.elastic.ring)
+	}
 	for i := 0; i < cfg.Servers; i++ {
 		if _, err := c.startServer(types.ServerID(i)); err != nil {
 			return nil, err
 		}
 	}
+	// On a TCP fabric the early servers' gossip agents were bootstrapped
+	// before the later servers were listening; backfill the now-known
+	// listen addresses so membership snapshots are dialable from the start.
+	c.refreshAgentAddrs()
 	return c, nil
 }
 
@@ -388,10 +422,15 @@ func (c *Cluster) startServer(id types.ServerID) (*server.Server, error) {
 	if cc.Window == 0 && cc.HotThreshold == 0 {
 		cc = classifier.DefaultConfig(c.cfg.Domain)
 	}
+	var ring *topology.DynamicRing
+	if c.elastic != nil {
+		ring = c.elastic.ring
+	}
 	srv, err := server.New(server.Config{
 		ID:                 id,
 		Topology:           c.top,
 		Groups:             c.groups,
+		Ring:               ring,
 		Placement:          c.place,
 		Network:            c.net,
 		Policy:             c.polCfg,
@@ -416,6 +455,9 @@ func (c *Cluster) startServer(id types.ServerID) (*server.Server, error) {
 	c.mu.Lock()
 	c.servers[id] = srv
 	c.mu.Unlock()
+	if c.elastic != nil {
+		c.attachElastic(id, srv)
+	}
 	return srv, nil
 }
 
@@ -502,6 +544,10 @@ func (c *Cluster) Config() Config { return c.cfg }
 // Kill simulates a fail-stop crash of the server: it vanishes from the
 // fabric and its memory contents are lost.
 func (c *Cluster) Kill(id ServerID) {
+	// Stop the victim's gossip agent first (a dead server neither probes
+	// nor refutes); the ring is NOT updated here — the surviving agents
+	// must detect the death through gossip, exactly like a real crash.
+	c.stopAgent(types.ServerID(id))
 	c.mu.Lock()
 	srv := c.servers[id]
 	delete(c.servers, id)
@@ -528,10 +574,24 @@ func (c *Cluster) ServerAddrs() map[ServerID]string {
 	if tn == nil {
 		return nil
 	}
+	// An elastic fleet can outgrow the initial id range and shed members,
+	// so its address map is the running-server set; static clusters (and
+	// remote handles, which run no servers) keep the configured range.
+	ids := make(map[types.ServerID]bool, c.cfg.Servers)
+	if c.elastic == nil {
+		for i := 0; i < c.cfg.Servers; i++ {
+			ids[types.ServerID(i)] = true
+		}
+	}
+	c.mu.Lock()
+	for id := range c.servers {
+		ids[id] = true
+	}
+	c.mu.Unlock()
 	out := make(map[ServerID]string)
-	for i := 0; i < c.cfg.Servers; i++ {
-		if addr, ok := tn.Addr(types.ServerID(i)); ok {
-			out[ServerID(i)] = addr
+	for id := range ids {
+		if addr, ok := tn.Addr(id); ok {
+			out[ServerID(id)] = addr
 		}
 	}
 	return out
@@ -541,6 +601,12 @@ func (c *Cluster) ServerAddrs() map[ServerID]string {
 // hosted elsewhere: it runs no servers, only a TCP fabric pointed at the
 // given addresses. NewClient, Query, Get and Put work as usual; server
 // management methods (Kill, Replace, EndTimeStep) are inert.
+//
+// When the service runs elastic membership, set cfg.Membership (matching
+// the service, like Construction or MuxConnsPerPeer): the handle then
+// pulls a membership snapshot over the wire and places on the same
+// dynamic ring as the fleet, instead of guessing from a static server
+// count that drifts as servers join and drain.
 func NewRemoteCluster(cfg Config, addrs map[ServerID]string) (*Cluster, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Servers <= 0 {
@@ -573,7 +639,7 @@ func NewRemoteCluster(cfg Config, addrs map[ServerID]string) (*Cluster, error) {
 	if top, terr := topology.Uniform(cfg.Servers, 1); terr == nil {
 		groups, _ = topology.NewGroups(top, cfg.NLevel+1, cfg.DataShards+cfg.NLevel)
 	}
-	return &Cluster{
+	c := &Cluster{
 		cfg:     cfg,
 		net:     net,
 		retry:   retryPolicy(cfg.Retry),
@@ -582,7 +648,15 @@ func NewRemoteCluster(cfg Config, addrs map[ServerID]string) (*Cluster, error) {
 		col:     metrics.NewCollector(),
 		codec:   codec,
 		servers: make(map[types.ServerID]*server.Server),
-	}, nil
+	}
+	if cfg.Membership != nil {
+		c.elastic = newElasticState(*cfg.Membership)
+		if err := c.bootstrapRemoteRing(addrs); err != nil {
+			return nil, err
+		}
+		c.place = placement.NewRing(c.elastic.ring)
+	}
+	return c, nil
 }
 
 // Replace starts a fresh (empty) server under the failed server's logical
@@ -825,6 +899,18 @@ func (c *Cluster) ServerBytes() [][]byte {
 
 // Close shuts down every server.
 func (c *Cluster) Close() {
+	if e := c.elastic; e != nil {
+		e.mu.Lock()
+		agents := make([]*membership.Agent, 0, len(e.agents))
+		for _, a := range e.agents {
+			agents = append(agents, a)
+		}
+		e.agents = make(map[types.ServerID]*membership.Agent)
+		e.mu.Unlock()
+		for _, a := range agents {
+			a.Stop()
+		}
+	}
 	c.mu.Lock()
 	servers := make([]*server.Server, 0, len(c.servers))
 	for _, s := range c.servers {

@@ -1,0 +1,598 @@
+package corec
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"corec/internal/membership"
+	"corec/internal/server"
+	"corec/internal/topology"
+	"corec/internal/transport"
+	"corec/internal/types"
+)
+
+// MembershipConfig enables elastic membership: every server runs a
+// SWIM-style gossip agent (see internal/membership), placement moves to a
+// dynamic consistent-hash ring, and servers can Join, Drain and Leave the
+// fleet at runtime. Failure detection becomes decentralized — gossip, not
+// the central monitor's heartbeat sweep, declares servers dead — and the
+// monitor turns into a thin consumer of membership events that keeps only
+// its recovery-orchestration role.
+type MembershipConfig struct {
+	// ProbeInterval is each agent's gossip tick period. Default 25ms.
+	ProbeInterval time.Duration
+	// ProbeTimeout bounds each direct/indirect probe RPC. Default 10ms.
+	ProbeTimeout time.Duration
+	// IndirectProxies is SWIM's k: peers asked to relay an indirect probe
+	// after a direct probe times out. Default 2.
+	IndirectProxies int
+	// SuspicionTicks is the refutation window, in ticks, between suspicion
+	// and the death verdict. Default 3.
+	SuspicionTicks int
+	// PiggybackLimit caps membership updates carried per message. Default 8.
+	PiggybackLimit int
+	// RetransmitMult scales per-update dissemination retransmits. Default 3.
+	RetransmitMult int
+	// VirtualNodes is the per-server virtual node count on the placement
+	// ring. Default topology.DefaultVirtualNodes.
+	VirtualNodes int
+	// Manual disables the background probe loops; tests drive the protocol
+	// deterministically through Cluster.TickMembership.
+	Manual bool
+	// EventBuffer sizes the MemberEvents channel. Default 256.
+	EventBuffer int
+}
+
+// MembershipEvent is a ring-changing membership transition observed by the
+// fleet's gossip agents (see membership.Event).
+type MembershipEvent = membership.Event
+
+// MembershipEventKind is the kind of a MembershipEvent (see the Member*
+// constants below).
+type MembershipEventKind = membership.EventKind
+
+// Membership event kinds, re-exported.
+const (
+	MemberJoined    = membership.EventJoined
+	MemberSuspected = membership.EventSuspected
+	MemberRefuted   = membership.EventRefuted
+	MemberDied      = membership.EventDied
+	MemberLeft      = membership.EventLeft
+)
+
+// elasticState is the cluster-side aggregation point for the per-server
+// gossip agents: the shared placement ring, the agent registry, incarnation
+// tombstone tracking for replacements, and the rebalance tallies.
+type elasticState struct {
+	cfg  MembershipConfig
+	ring *topology.DynamicRing
+
+	mu      sync.Mutex
+	agents  map[types.ServerID]*membership.Agent
+	lastInc map[types.ServerID]uint64
+	nextID  types.ServerID
+
+	events chan MembershipEvent
+
+	arcsMoved       atomic.Int64
+	rebalances      atomic.Int64
+	dirRehomed      atomic.Int64
+	objectsMoved    atomic.Int64
+	objectsRepaired atomic.Int64
+	reencoded       atomic.Int64
+	handoffs        atomic.Int64
+	bytesMoved      atomic.Int64
+}
+
+func newElasticState(cfg MembershipConfig) *elasticState {
+	buf := cfg.EventBuffer
+	if buf <= 0 {
+		buf = 256
+	}
+	return &elasticState{
+		cfg:     cfg,
+		ring:    topology.NewDynamicRing(cfg.VirtualNodes),
+		agents:  make(map[types.ServerID]*membership.Agent),
+		lastInc: make(map[types.ServerID]uint64),
+		events:  make(chan MembershipEvent, buf),
+	}
+}
+
+// Elastic reports whether the cluster runs in elastic-membership mode.
+func (c *Cluster) Elastic() bool { return c.elastic != nil }
+
+// Ring returns the dynamic placement ring, or nil in static mode.
+func (c *Cluster) Ring() *topology.DynamicRing {
+	if c.elastic == nil {
+		return nil
+	}
+	return c.elastic.ring
+}
+
+// MembershipAgent returns the gossip agent of a running server (nil if the
+// server is down or the cluster is not elastic).
+func (c *Cluster) MembershipAgent(id ServerID) *membership.Agent {
+	e := c.elastic
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.agents[types.ServerID(id)]
+}
+
+// MemberEvents returns the stream of ring-changing membership events
+// (deaths, departures, joins, refutation-driven rejoins). The monitor
+// consumes it in elastic mode; events overflowmg the buffer are dropped —
+// the ring itself is always authoritative.
+func (c *Cluster) MemberEvents() <-chan MembershipEvent {
+	if c.elastic == nil {
+		return nil
+	}
+	return c.elastic.events
+}
+
+// TickMembership runs one gossip protocol round on every live agent, in
+// server-id order. With MembershipConfig.Manual set this is the only thing
+// that advances the protocol, which makes seeded chaos tests fully
+// deterministic: same seed, same fault plan, same detection sequence.
+func (c *Cluster) TickMembership(ctx context.Context) {
+	e := c.elastic
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	ids := make([]types.ServerID, 0, len(e.agents))
+	for id := range e.agents {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	agents := make([]*membership.Agent, 0, len(ids))
+	for _, id := range ids {
+		agents = append(agents, e.agents[id])
+	}
+	e.mu.Unlock()
+	for _, a := range agents {
+		a.Tick(ctx)
+	}
+}
+
+// domainFor maps a server to its failure domain: the static topology's
+// cabinet for the initial fleet, modular cabinet assignment for servers
+// joined beyond it.
+func (c *Cluster) domainFor(id types.ServerID) int {
+	if c.top != nil && int(id) >= 0 && int(id) < c.top.NumServers() {
+		return c.top.Server(id).Cabinet
+	}
+	if c.cfg.Cabinets > 0 {
+		return int(id) % c.cfg.Cabinets
+	}
+	return 0
+}
+
+// attachElastic wires a freshly started server into the membership plane:
+// builds its gossip agent (incarnation above any tombstone for the same
+// id), seeds its view from the ring, attaches it to the server's dispatch
+// loop, and — when the id is new to the ring — joins the ring and announces
+// the newcomer to the fleet.
+func (c *Cluster) attachElastic(id types.ServerID, srv *server.Server) {
+	e := c.elastic
+	e.mu.Lock()
+	inc := uint64(0)
+	if last, ok := e.lastInc[id]; ok {
+		inc = last + 1
+	}
+	if id >= e.nextID {
+		e.nextID = id + 1
+	}
+	e.mu.Unlock()
+
+	addr := ""
+	tn := c.tcpNet()
+	if tn != nil {
+		if a, ok := tn.Addr(id); ok {
+			addr = a
+		}
+	}
+	agent := membership.NewAgent(membership.Config{
+		ID:              id,
+		Domain:          c.domainFor(id),
+		Addr:            addr,
+		Seed:            c.cfg.Seed ^ int64(uint64(int64(id)+1)*0x9e3779b97f4a7c15),
+		ProbeInterval:   e.cfg.ProbeInterval,
+		ProbeTimeout:    e.cfg.ProbeTimeout,
+		IndirectProxies: e.cfg.IndirectProxies,
+		SuspicionTicks:  e.cfg.SuspicionTicks,
+		PiggybackLimit:  e.cfg.PiggybackLimit,
+		RetransmitMult:  e.cfg.RetransmitMult,
+		Incarnation:     inc,
+		OnEvent:         c.onMembershipEvent,
+		OnDrain: func() {
+			_, _ = c.DrainAndLeave(context.Background(), ServerID(id))
+		},
+		OnJoin: func() {
+			if _, err := c.JoinNew(); err == nil {
+				_, _ = c.Rebalance(context.Background())
+			}
+		},
+	}, c.net)
+
+	members := e.ring.Members()
+	boot := make([]membership.Update, 0, len(members))
+	peers := make([]types.ServerID, 0, len(members))
+	for _, m := range members {
+		if m == id {
+			continue
+		}
+		d, _ := e.ring.Domain(m)
+		var maddr string
+		if tn != nil {
+			if a, ok := tn.Addr(m); ok {
+				maddr = a
+			}
+		}
+		boot = append(boot, membership.Update{ID: m, State: membership.StateAlive, Domain: d, Addr: maddr})
+		peers = append(peers, m)
+	}
+	agent.Bootstrap(boot)
+	srv.AttachMembership(agent)
+
+	e.mu.Lock()
+	e.agents[id] = agent
+	e.mu.Unlock()
+
+	if !e.ring.Contains(id) {
+		_, arcs := e.ring.Join(id, c.domainFor(id))
+		e.arcsMoved.Add(int64(len(arcs)))
+		// This host changed the ring itself, so gossip echoes of the join
+		// will find the ring already updated and stay silent; surface the
+		// transition to MemberEvents consumers here instead.
+		c.pushMemberEvent(MembershipEvent{Kind: membership.EventJoined, ID: id, Incarnation: inc, Domain: c.domainFor(id), Addr: addr})
+		// Announce to the established fleet so its agents flip any dead/left
+		// tombstone for this id to alive without waiting for our first probe.
+		agent.JoinFleet(contextBackground, peers)
+	}
+	if !e.cfg.Manual {
+		agent.Start()
+	}
+}
+
+// refreshAgentAddrs re-bootstraps every gossip agent with the TCP fabric's
+// current listen addresses. Agent.Bootstrap only fills missing addresses —
+// states and incarnations stay gossip-owned — so this is safe to call any
+// time; NewCluster uses it because servers start (and bind) sequentially,
+// leaving the earliest agents without their later peers' addresses.
+func (c *Cluster) refreshAgentAddrs() {
+	e := c.elastic
+	tn := c.tcpNet()
+	if e == nil || tn == nil {
+		return
+	}
+	members := e.ring.Members()
+	known := make([]membership.Update, 0, len(members))
+	for _, m := range members {
+		if addr, ok := tn.Addr(m); ok {
+			d, _ := e.ring.Domain(m)
+			known = append(known, membership.Update{ID: m, State: membership.StateAlive, Domain: d, Addr: addr})
+		}
+	}
+	e.mu.Lock()
+	agents := make([]*membership.Agent, 0, len(e.agents))
+	for _, a := range e.agents {
+		agents = append(agents, a)
+	}
+	e.mu.Unlock()
+	sort.Slice(agents, func(i, j int) bool { return agents[i].ID() < agents[j].ID() })
+	for _, a := range agents {
+		a.Bootstrap(known)
+	}
+}
+
+// stopAgent detaches and stops a server's gossip agent (no ring change: a
+// kill must be detected by gossip, a drain updates the ring explicitly).
+func (c *Cluster) stopAgent(id types.ServerID) {
+	e := c.elastic
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	a := e.agents[id]
+	delete(e.agents, id)
+	e.mu.Unlock()
+	if a != nil {
+		a.Stop()
+	}
+}
+
+// onMembershipEvent folds one agent's observed transition into the shared
+// placement ring. Every live agent reports every transition it accepts, so
+// the handler is idempotent: the first event for a transition updates the
+// ring (and is forwarded to the monitor), duplicates no-op.
+func (c *Cluster) onMembershipEvent(ev MembershipEvent) {
+	e := c.elastic
+	if e == nil || ev.ID < 0 {
+		return
+	}
+	switch ev.Kind {
+	case membership.EventDied, membership.EventLeft:
+		e.mu.Lock()
+		if last, ok := e.lastInc[ev.ID]; !ok || ev.Incarnation > last {
+			e.lastInc[ev.ID] = ev.Incarnation
+		}
+		e.mu.Unlock()
+		if e.ring.Contains(ev.ID) {
+			_, arcs := e.ring.Leave(ev.ID)
+			e.arcsMoved.Add(int64(len(arcs)))
+			c.pushMemberEvent(ev)
+		}
+	case membership.EventJoined, membership.EventRefuted:
+		e.mu.Lock()
+		if last, ok := e.lastInc[ev.ID]; !ok || ev.Incarnation > last {
+			e.lastInc[ev.ID] = ev.Incarnation
+		}
+		e.mu.Unlock()
+		if ev.Addr != "" {
+			if tn := c.tcpNet(); tn != nil {
+				tn.AddRemote(ev.ID, ev.Addr)
+			}
+		}
+		if !e.ring.Contains(ev.ID) {
+			_, arcs := e.ring.Join(ev.ID, ev.Domain)
+			e.arcsMoved.Add(int64(len(arcs)))
+			c.pushMemberEvent(ev)
+		}
+	case membership.EventSuspected:
+		// Suspicion alone never moves placement; the refutation window
+		// decides between eviction and a false-positive count.
+	}
+}
+
+func (c *Cluster) pushMemberEvent(ev MembershipEvent) {
+	select {
+	case c.elastic.events <- ev:
+	default:
+		// Slow or absent consumer; the ring already reflects the change.
+	}
+}
+
+// Join starts a fresh, empty server under the given id and folds it into
+// the fleet: ring membership, gossip announcement, background agent. Only
+// the arcs adjacent to the newcomer's virtual nodes change owners; staged
+// data moves when the operator (or a test) runs Rebalance.
+func (c *Cluster) Join(id ServerID) error {
+	if c.elastic == nil {
+		return fmt.Errorf("corec: Join requires elastic membership (Config.Membership)")
+	}
+	c.mu.Lock()
+	_, exists := c.servers[types.ServerID(id)]
+	c.mu.Unlock()
+	if exists {
+		return fmt.Errorf("corec: server %d is already running", id)
+	}
+	_, err := c.startServer(types.ServerID(id))
+	return err
+}
+
+// JoinNew starts a server under the lowest id never used by this cluster
+// (scale-out without id bookkeeping in the caller) and returns it.
+func (c *Cluster) JoinNew() (ServerID, error) {
+	e := c.elastic
+	if e == nil {
+		return 0, fmt.Errorf("corec: JoinNew requires elastic membership (Config.Membership)")
+	}
+	e.mu.Lock()
+	if int(e.nextID) < c.cfg.Servers {
+		e.nextID = types.ServerID(c.cfg.Servers)
+	}
+	id := e.nextID
+	e.nextID = id + 1
+	e.mu.Unlock()
+	if _, err := c.startServer(id); err != nil {
+		return ServerID(id), err
+	}
+	return ServerID(id), nil
+}
+
+// Drain prepares a server for departure without losing data or redundancy:
+// new writes to it are fenced (clients fail over to ring successors), its
+// arcs move to the survivors, and the paced migrator re-homes its objects.
+// The server keeps serving reads throughout; call Leave (or use
+// DrainAndLeave) once the report shows the moves completed.
+func (c *Cluster) Drain(ctx context.Context, id ServerID) (RebalanceReport, error) {
+	e := c.elastic
+	if e == nil {
+		return RebalanceReport{}, fmt.Errorf("corec: Drain requires elastic membership (Config.Membership)")
+	}
+	srv := c.Server(id)
+	if srv == nil {
+		return RebalanceReport{}, fmt.Errorf("corec: server %d is not running", id)
+	}
+	srv.SetDraining(true)
+	if _, arcs := e.ring.Leave(types.ServerID(id)); len(arcs) > 0 {
+		e.arcsMoved.Add(int64(len(arcs)))
+	}
+	rep, err := c.Rebalance(ctx)
+	if err != nil {
+		return rep, err
+	}
+	if a := c.MembershipAgent(id); a != nil {
+		a.Leave(ctx)
+	}
+	return rep, nil
+}
+
+// Leave removes a server from the fleet immediately: the ring drops its
+// arcs, its gossip agent stops, and the server shuts down. Data it held
+// exclusively is only safe if a Drain ran first (use DrainAndLeave).
+func (c *Cluster) Leave(id ServerID) {
+	var inc uint64
+	hadAgent := false
+	if e := c.elastic; e != nil {
+		if _, arcs := e.ring.Leave(types.ServerID(id)); len(arcs) > 0 {
+			e.arcsMoved.Add(int64(len(arcs)))
+		}
+		if a := c.MembershipAgent(id); a != nil {
+			inc = a.Incarnation()
+			hadAgent = true
+		}
+		c.stopAgent(types.ServerID(id))
+	}
+	c.mu.Lock()
+	srv := c.servers[types.ServerID(id)]
+	delete(c.servers, types.ServerID(id))
+	c.mu.Unlock()
+	if srv != nil {
+		srv.Close()
+	}
+	if hadAgent {
+		// This host removed the member itself, so gossip echoes of the Left
+		// record find the ring already updated and stay silent; surface the
+		// departure to MemberEvents consumers once the server is down.
+		c.pushMemberEvent(MembershipEvent{Kind: membership.EventLeft, ID: types.ServerID(id), Incarnation: inc, Domain: c.domainFor(types.ServerID(id))})
+	}
+}
+
+// DrainAndLeave drains a server and then removes it: the graceful scale-in
+// path (and what an operator's `corec-cli drain` triggers over gossip).
+func (c *Cluster) DrainAndLeave(ctx context.Context, id ServerID) (RebalanceReport, error) {
+	rep, err := c.Drain(ctx, id)
+	c.Leave(id)
+	return rep, err
+}
+
+// bootstrapRemoteRing seeds a remote handle's placement ring from a
+// membership snapshot pulled over the wire (MsgGossip Flag=true), so the
+// handle places on the same dynamic ring as the elastic service it talks
+// to. Failure domains travel inside the snapshot, so no topology
+// assumption couples client and host; members beyond the caller's address
+// map (servers admitted after the map was written) become dialable from
+// the snapshot's gossiped addresses.
+func (c *Cluster) bootstrapRemoteRing(addrs map[ServerID]string) error {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	ids := make([]types.ServerID, 0, len(addrs))
+	for id := range addrs {
+		ids = append(ids, types.ServerID(id))
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var lastErr error
+	for _, id := range ids {
+		resp, err := c.net.Send(ctx, -1, id, &transport.Message{Kind: transport.MsgGossip, Flag: true})
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if err := resp.AsError(); err != nil {
+			lastErr = err
+			continue
+		}
+		updates, err := membership.DecodeUpdates(resp.Data)
+		if err != nil {
+			return fmt.Errorf("corec: membership snapshot from server %d: %w", id, err)
+		}
+		tn := c.tcpNet()
+		for _, u := range updates {
+			if u.State != membership.StateAlive && u.State != membership.StateSuspect {
+				continue
+			}
+			c.elastic.ring.Join(u.ID, u.Domain)
+			if u.Addr != "" && tn != nil {
+				tn.AddRemote(u.ID, u.Addr)
+			}
+		}
+		if c.elastic.ring.Size() == 0 {
+			return fmt.Errorf("corec: membership snapshot from server %d names no live members", id)
+		}
+		return nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("no server reachable")
+	}
+	return fmt.Errorf("corec: bootstrapping membership ring: %w", lastErr)
+}
+
+// Member is one entry of a fleet's gossip membership view, as pulled by
+// Client.MemberSnapshot.
+type Member struct {
+	ID          ServerID
+	State       string // alive, suspect, dead, left
+	Incarnation uint64
+	Domain      int
+	Addr        string
+}
+
+// MemberSnapshot pulls the membership view from the first reachable server:
+// every known server with state, incarnation, failure domain, and address.
+// Works over any transport — the `corec-cli members` view. Errors when no
+// server answers or the service does not run elastic membership.
+func (cl *Client) MemberSnapshot(ctx context.Context) ([]Member, error) {
+	var lastErr error
+	for _, id := range cl.memberView() {
+		resp, err := cl.send(ctx, id, &transport.Message{Kind: transport.MsgGossip, Flag: true})
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if err := resp.AsError(); err != nil {
+			lastErr = err
+			continue
+		}
+		updates, err := membership.DecodeUpdates(resp.Data)
+		if err != nil {
+			return nil, err
+		}
+		out := make([]Member, len(updates))
+		for i, u := range updates {
+			out[i] = Member{
+				ID:          ServerID(u.ID),
+				State:       u.State.String(),
+				Incarnation: u.Incarnation,
+				Domain:      u.Domain,
+				Addr:        u.Addr,
+			}
+		}
+		return out, nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("corec: no server reachable for membership snapshot")
+	}
+	return nil, lastErr
+}
+
+// RequestDrain asks a server, over the gossip control plane, to drain and
+// leave the fleet (`corec-cli drain`). The ack means the drain started; the
+// handoff completes asynchronously in the host process.
+func (cl *Client) RequestDrain(ctx context.Context, id ServerID) error {
+	resp, err := cl.send(ctx, types.ServerID(id), &transport.Message{Kind: transport.MsgGossip, Key: "drain"})
+	if err != nil {
+		return err
+	}
+	return resp.AsError()
+}
+
+// RequestJoin asks the fleet, over the gossip control plane, to admit one
+// fresh server (`corec-cli join`). Any reachable member relays the request
+// to its host; the newcomer announces itself via gossip once it is up.
+func (cl *Client) RequestJoin(ctx context.Context) error {
+	var lastErr error
+	for _, id := range cl.memberView() {
+		resp, err := cl.send(ctx, id, &transport.Message{Kind: transport.MsgGossip, Key: "join"})
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if err := resp.AsError(); err != nil {
+			lastErr = err
+			continue
+		}
+		return nil
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("corec: no server reachable for join request")
+	}
+	return lastErr
+}

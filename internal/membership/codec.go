@@ -1,0 +1,75 @@
+package membership
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"corec/internal/types"
+)
+
+// Updates ride inside Message.Data with their own little-endian codec (the
+// transport's superset struct stays untouched): a u32 count, then per update
+// i64 id, u8 state, u64 incarnation, i64 domain, and a u16-length-prefixed
+// address.
+
+// EncodeUpdates serializes a batch of updates.
+func EncodeUpdates(updates []Update) []byte {
+	size := 4
+	for i := range updates {
+		size += 8 + 1 + 8 + 8 + 2 + len(updates[i].Addr)
+	}
+	buf := make([]byte, 0, size)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(updates)))
+	for i := range updates {
+		u := &updates[i]
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(u.ID)))
+		buf = append(buf, byte(u.State))
+		buf = binary.LittleEndian.AppendUint64(buf, u.Incarnation)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(int64(u.Domain)))
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(len(u.Addr)))
+		buf = append(buf, u.Addr...)
+	}
+	return buf
+}
+
+// DecodeUpdates parses a batch of updates, validating lengths strictly so a
+// corrupt or truncated payload fails instead of yielding garbage.
+func DecodeUpdates(data []byte) ([]Update, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("membership: update batch too short (%d bytes)", len(data))
+	}
+	count := binary.LittleEndian.Uint32(data)
+	off := 4
+	const fixed = 8 + 1 + 8 + 8 + 2
+	if uint64(count)*fixed > uint64(len(data)) {
+		return nil, fmt.Errorf("membership: update count %d exceeds payload", count)
+	}
+	out := make([]Update, 0, count)
+	for i := uint32(0); i < count; i++ {
+		if off+fixed > len(data) {
+			return nil, fmt.Errorf("membership: truncated update %d", i)
+		}
+		var u Update
+		u.ID = types.ServerID(int64(binary.LittleEndian.Uint64(data[off:])))
+		off += 8
+		s := data[off]
+		off++
+		if s > byte(StateLeft) {
+			return nil, fmt.Errorf("membership: invalid state %d in update %d", s, i)
+		}
+		u.State = State(s)
+		u.Incarnation = binary.LittleEndian.Uint64(data[off:])
+		off += 8
+		u.Domain = int(int64(binary.LittleEndian.Uint64(data[off:])))
+		off += 8
+		alen := int(binary.LittleEndian.Uint16(data[off:]))
+		off += 2
+		if off+alen > len(data) {
+			return nil, fmt.Errorf("membership: truncated address in update %d", i)
+		}
+		u.Addr = string(data[off : off+alen])
+		off += alen
+		out = append(out, u)
+	}
+	return out, nil
+}

@@ -135,8 +135,21 @@ func (s *Server) handleDirDump(req *transport.Message) *transport.Message {
 
 // dirGroup returns the servers hosting the directory record for key: the
 // hash shard plus NLevel ring-successor mirrors, so metadata tolerates as
-// many failures as the data it describes.
+// many failures as the data it describes. In elastic mode the group comes
+// from the dynamic ring (owner of "dir:"+key plus domain-diverse
+// successors), so it tracks membership changes; clients derive the same
+// group from the same ring state.
 func (s *Server) dirGroup(key string) []types.ServerID {
+	if s.ring != nil {
+		mirrors := s.cfg.Policy.NLevel
+		if mirrors < 1 {
+			mirrors = 1
+		}
+		if n := s.ring.Size(); mirrors >= n {
+			mirrors = n - 1
+		}
+		return s.ring.KeyGroup("dir:"+key, mirrors+1)
+	}
 	return placement.DirectoryGroup(s.place.DirectoryShard(key), s.place.NumServers(), s.cfg.Policy.NLevel)
 }
 

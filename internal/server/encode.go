@@ -51,8 +51,15 @@ func (s *Server) encodeObject(ctx context.Context, obj *types.Object, reuse type
 
 	stripeID := reuse
 	if stripeID == (types.StripeID{}) {
+		// Elastic mode has no static coding-group index; the minting server's
+		// id keeps stripe ids unique per primary, and the incarnation bits
+		// keep them unique across replacements either way.
+		group := int(s.id)
+		if s.ring == nil {
+			group = s.groups.CodingGroup(s.id)
+		}
 		stripeID = types.StripeID{
-			Group: s.groups.CodingGroup(s.id),
+			Group: group,
 			Seq:   s.incarnation<<40 | atomic.AddUint64(&s.stripeSeq, 1),
 		}
 	}

@@ -379,14 +379,22 @@ func (s *Server) RunRecovery(ctx context.Context, mode recovery.Mode) (int, erro
 // its mirrors and scans the cluster's directory for every object this
 // server should hold a piece of.
 func (s *Server) rebuildDirectoryAndWorklist(ctx context.Context) ([]string, error) {
-	n := s.place.NumServers()
+	var peers []types.ServerID
+	if s.ring != nil {
+		// Elastic fleets are not contiguous 0..n-1; walk the live ring.
+		peers = s.ring.Members()
+	} else {
+		for i := 0; i < s.place.NumServers(); i++ {
+			peers = append(peers, types.ServerID(i))
+		}
+	}
 	var keys []string
 	seen := make(map[string]bool)
-	for peer := 0; peer < n; peer++ {
-		if types.ServerID(peer) == s.id {
+	for _, peer := range peers {
+		if peer == s.id {
 			continue
 		}
-		resp, err := s.sendRetry(ctx, types.ServerID(peer), &transport.Message{Kind: transport.MsgDirDump})
+		resp, err := s.sendRetry(ctx, peer, &transport.Message{Kind: transport.MsgDirDump})
 		if err != nil || resp.Kind != transport.MsgOK {
 			continue
 		}

@@ -37,6 +37,11 @@ type Config struct {
 	Network   transport.Network
 	Policy    policy.Config
 	Collector *metrics.Collector
+	// Ring, when set, switches the server to elastic membership: replica
+	// targets, coding groups and directory groups are resolved against the
+	// live dynamic ring instead of the static group geometry (Groups may be
+	// nil in this mode).
+	Ring *topology.DynamicRing
 	// RecoveryMode selects lazy (CoREC) or aggressive background repair.
 	RecoveryMode recovery.Mode
 	// MTBF parameterizes the lazy-recovery deadline (MTBF/4).
@@ -70,11 +75,21 @@ type Server struct {
 	place   placement.Placement
 	top     *topology.Topology
 	groups  *topology.Groups
+	ring    *topology.DynamicRing
 	codec   *erasure.Codec
 	decider *policy.Decider
 	col     *metrics.Collector
 
 	inflight atomic.Int64
+
+	// draining fences new writes while the server hands off its objects
+	// ahead of a voluntary leave; reads keep working throughout.
+	draining atomic.Bool
+
+	// memberAgent handles membership-plane messages (MsgPing, MsgPingReq,
+	// MsgGossip) when elastic membership is enabled; nil otherwise.
+	memberMu    sync.RWMutex
+	memberAgent MembershipHandler
 
 	// writeLocks serializes the write-path state machines per object key:
 	// a put, a background encode commit, a promotion and a delete of the
@@ -167,8 +182,11 @@ var serverIncarnations atomic.Uint64
 
 // New constructs a server and registers it on the network.
 func New(cfg Config) (*Server, error) {
-	if cfg.Network == nil || cfg.Topology == nil || cfg.Groups == nil || cfg.Placement == nil {
+	if cfg.Network == nil || cfg.Topology == nil || cfg.Placement == nil {
 		return nil, fmt.Errorf("server: missing dependencies")
+	}
+	if cfg.Groups == nil && cfg.Ring == nil {
+		return nil, fmt.Errorf("server: need either static groups or a dynamic ring")
 	}
 	if cfg.Collector == nil {
 		cfg.Collector = metrics.NewCollector()
@@ -195,7 +213,7 @@ func New(cfg Config) (*Server, error) {
 		if cfg.DecodeCacheEntries >= 0 {
 			codec = codec.WithDecodeCache(cfg.DecodeCacheEntries)
 		}
-		if cfg.Groups.CodingSize != cfg.Policy.K+cfg.Policy.M {
+		if cfg.Groups != nil && cfg.Groups.CodingSize != cfg.Policy.K+cfg.Policy.M {
 			return nil, fmt.Errorf("server: coding group size %d != k+m = %d",
 				cfg.Groups.CodingSize, cfg.Policy.K+cfg.Policy.M)
 		}
@@ -207,6 +225,7 @@ func New(cfg Config) (*Server, error) {
 		place:       cfg.Placement,
 		top:         cfg.Topology,
 		groups:      cfg.Groups,
+		ring:        cfg.Ring,
 		codec:       codec,
 		decider:     dec,
 		col:         cfg.Collector,
@@ -406,7 +425,18 @@ func (s *Server) Handle(ctx context.Context, req *transport.Message) *transport.
 	defer s.inflight.Add(-1)
 	switch req.Kind {
 	case transport.MsgPing:
+		// With elastic membership the probe carries piggybacked gossip and
+		// the reply returns ours; without it, a plain liveness ack.
+		if h := s.membershipHandler(); h != nil {
+			return h.HandleMessage(ctx, req)
+		}
 		return transport.Ok()
+	case transport.MsgPingReq:
+		return s.handleMembership(ctx, req)
+	case transport.MsgGossip:
+		return s.handleMembership(ctx, req)
+	case transport.MsgHandoff:
+		return s.handleHandoff(ctx, req)
 	case transport.MsgLoadQuery:
 		return &transport.Message{Kind: transport.MsgOK, Num: s.Load()}
 	case transport.MsgPut:
@@ -459,6 +489,42 @@ func (s *Server) Handle(ctx context.Context, req *transport.Message) *transport.
 		return transport.Errf("server %d: unsupported message kind %v", s.id, req.Kind)
 	}
 }
+
+// MembershipHandler processes membership-plane messages. Implemented by
+// membership.Agent; the indirection keeps the server decoupled from the
+// gossip protocol's internals.
+type MembershipHandler interface {
+	HandleMessage(ctx context.Context, req *transport.Message) *transport.Message
+}
+
+// AttachMembership installs (or, with nil, removes) the membership agent
+// that handles gossip-plane messages for this server.
+func (s *Server) AttachMembership(h MembershipHandler) {
+	s.memberMu.Lock()
+	s.memberAgent = h
+	s.memberMu.Unlock()
+}
+
+func (s *Server) membershipHandler() MembershipHandler {
+	s.memberMu.RLock()
+	defer s.memberMu.RUnlock()
+	return s.memberAgent
+}
+
+func (s *Server) handleMembership(ctx context.Context, req *transport.Message) *transport.Message {
+	if h := s.membershipHandler(); h != nil {
+		return h.HandleMessage(ctx, req)
+	}
+	return transport.Errf("server %d: membership not enabled", s.id)
+}
+
+// SetDraining fences (or unfences) new writes: a draining server answers
+// puts with a retryable error so clients fail over to the ring successor
+// while the migrator hands existing objects off. Reads stay served.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// IsDraining reports whether the write fence is up.
+func (s *Server) IsDraining() bool { return s.draining.Load() }
 
 // --- storage accessors used by handlers and tests ---
 
@@ -582,15 +648,25 @@ func (s *Server) writeLock(key string) *sync.Mutex {
 }
 
 // replicaHolders returns the servers holding replicas for this server's
-// objects (its replication-group peers, NLevel of them).
+// objects: in elastic mode its domain-diverse ring successors, otherwise
+// its static replication-group peers (NLevel of them either way).
 func (s *Server) replicaHolders() []types.ServerID {
+	if s.ring != nil {
+		return s.ring.Targets(s.id, s.cfg.Policy.NLevel)
+	}
 	return s.groups.ReplicaTargets(s.id, s.cfg.Policy.NLevel)
 }
 
 // codingMembers returns this server's coding group in stripe order: the
 // rotation starting at the server itself, so the primary always holds data
-// shard 0 of stripes it mints.
+// shard 0 of stripes it mints. In elastic mode the group is the primary
+// plus k+m-1 domain-diverse ring successors.
 func (s *Server) codingMembers() []types.ServerID {
+	if s.ring != nil {
+		out := make([]types.ServerID, 0, s.cfg.Policy.K+s.cfg.Policy.M)
+		out = append(out, s.id)
+		return append(out, s.ring.Targets(s.id, s.cfg.Policy.K+s.cfg.Policy.M-1)...)
+	}
 	gi := s.groups.CodingGroup(s.id)
 	members := s.groups.CodingGroupMembers(gi)
 	start := 0

@@ -17,6 +17,12 @@ func (s *Server) handlePut(ctx context.Context, req *transport.Message) *transpo
 	if len(req.Data) == 0 || req.Var == "" || !req.Box.Valid() {
 		return transport.Errf("server %d: malformed put", s.id)
 	}
+	if s.draining.Load() {
+		// Drain fence: retryable, so the client's failover path reroutes the
+		// write to the ring successor instead of failing the workflow.
+		return &transport.Message{Kind: transport.MsgErr, Flag: true,
+			Err: "server draining: writes fenced"}
+	}
 	id := types.ObjectID{Var: req.Var, Box: req.Box}
 	key := id.Key()
 	obj := &types.Object{ID: id, Version: req.Version, Data: req.Data}
@@ -27,6 +33,21 @@ func (s *Server) handlePut(ctx context.Context, req *transport.Message) *transpo
 	lk := s.writeLock(key)
 	lk.Lock()
 	defer lk.Unlock()
+
+	// Flag marks a migration put (rebalance moving the object to its new
+	// ring owner). Idempotent: if a foreground write already installed the
+	// same or a newer version here, keep it and ack — unless Num != 0, the
+	// migrator's force-reinstall used to re-run the resilience action for a
+	// same-version object (re-encoding a stripe at full width after a
+	// coding member died).
+	if req.Flag {
+		s.mu.Lock()
+		cur, have := s.local[key]
+		s.mu.Unlock()
+		if have && (cur.version > req.Version || (cur.version == req.Version && req.Num == 0)) {
+			return transport.Ok()
+		}
+	}
 
 	// Install the object and capture prior state for transition handling.
 	s.mu.Lock()
@@ -272,6 +293,58 @@ func (s *Server) handleDelete(ctx context.Context, req *transport.Message) *tran
 	return &transport.Message{Kind: transport.MsgOK, Flag: true}
 }
 
+// handleHandoff relinquishes primary ownership of an object the migrator
+// moved to its new ring owner: the local full copy, bookkeeping and (for
+// encoded objects) the old stripe are released. Directory records are NOT
+// touched — the migrator already re-homed them to point at the new owner.
+// A concurrent foreground write that installed a newer version wins: the
+// handoff is refused (Flag false) and the migrator re-examines the object.
+func (s *Server) handleHandoff(ctx context.Context, req *transport.Message) *transport.Message {
+	key := req.Key
+	lk := s.writeLock(key)
+	lk.Lock()
+	defer lk.Unlock()
+	s.mu.Lock()
+	st, known := s.local[key]
+	if !known || (req.Version != 0 && st.version > req.Version) {
+		s.mu.Unlock()
+		return &transport.Message{Kind: transport.MsgOK, Flag: false}
+	}
+	stripe, state, id, size := st.stripe, st.state, st.id, st.size
+	switch st.state {
+	case types.StateReplicated:
+		s.dataRepl -= int64(st.size)
+	case types.StateEncoded:
+		s.dataEnc -= int64(st.size)
+	}
+	delete(s.local, key)
+	delete(s.objects, key)
+	var pendingDrop types.StripeID
+	hadPending := false
+	if s.pendingDrops != nil {
+		if d, ok := s.pendingDrops[key]; ok {
+			pendingDrop, hadPending = d, true
+			delete(s.pendingDrops, key)
+		}
+	}
+	s.mu.Unlock()
+	if hadPending {
+		s.dropStripe(ctx, pendingDrop, 0)
+	}
+	if state == types.StateEncoded {
+		// The stripe belonged to this object alone; the new owner minted a
+		// fresh one, so the old shards are pure surplus.
+		s.dropStripe(ctx, stripe, size)
+	}
+	// Replica copies at the old holders are left for the scrubber's orphan
+	// reaping: a versioned drop here could destroy a same-version replica
+	// the new owner just pushed to an overlapping holder set.
+	if cls := s.decider.Classifier(); cls != nil {
+		cls.Forget(id)
+	}
+	return &transport.Message{Kind: transport.MsgOK, Flag: true}
+}
+
 // handleGet serves a full object copy: primary copy first, replica second.
 // With the scrubber enabled, a copy whose bytes fail their recorded checksum
 // is withheld (reported as not found) so the caller falls back to another
@@ -372,6 +445,12 @@ func (s *Server) handleShardDrop(req *transport.Message) *transport.Message {
 // --- encoding token (one per replication group, held by the group leader) ---
 
 func (s *Server) tokenLeader() types.ServerID {
+	if s.ring != nil {
+		// Elastic mode has no static replication groups to elect a leader
+		// from; each server arbitrates its own encodes. The token is a
+		// conflict-avoidance optimization, so self-granting stays correct.
+		return s.id
+	}
 	gi := s.groups.ReplicationGroup(s.id)
 	return s.groups.ReplicationGroupMembers(gi)[0]
 }

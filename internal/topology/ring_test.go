@@ -1,0 +1,187 @@
+package topology
+
+import (
+	"fmt"
+	"testing"
+
+	"corec/internal/types"
+)
+
+func ringWith(t *testing.T, n, domains int) *DynamicRing {
+	t.Helper()
+	r := NewDynamicRing(0)
+	for i := 0; i < n; i++ {
+		r.Join(types.ServerID(i), i%domains)
+	}
+	return r
+}
+
+func TestDynamicRingJoinLeaveEpoch(t *testing.T) {
+	r := NewDynamicRing(8)
+	if r.Epoch() != 0 || r.Size() != 0 {
+		t.Fatalf("fresh ring: epoch=%d size=%d", r.Epoch(), r.Size())
+	}
+	ep, arcs := r.Join(0, 0)
+	if ep != 1 {
+		t.Fatalf("first join epoch = %d, want 1", ep)
+	}
+	if len(arcs) != 0 {
+		t.Fatalf("first join moved %d arcs, want 0 (ring was empty)", len(arcs))
+	}
+	ep, arcs = r.Join(1, 1)
+	if ep != 2 || len(arcs) != 8 {
+		t.Fatalf("second join: epoch=%d arcs=%d, want 2 and 8 (one per vnode)", ep, len(arcs))
+	}
+	for _, a := range arcs {
+		if a.To != 1 || a.From != 0 {
+			t.Fatalf("join arc %+v: want every arc moving 0 -> 1", a)
+		}
+	}
+	// Re-joining a member is a no-op.
+	ep2, arcs2 := r.Join(1, 1)
+	if ep2 != ep || arcs2 != nil {
+		t.Fatalf("re-join: epoch=%d arcs=%v, want unchanged", ep2, arcs2)
+	}
+	ep, arcs = r.Leave(1)
+	if ep != 3 || len(arcs) != 8 {
+		t.Fatalf("leave: epoch=%d arcs=%d", ep, len(arcs))
+	}
+	for _, a := range arcs {
+		if a.From != 1 || a.To != 0 {
+			t.Fatalf("leave arc %+v: want every arc moving 1 -> 0", a)
+		}
+	}
+	if r.Contains(1) || !r.Contains(0) {
+		t.Fatalf("membership after leave: contains(1)=%v contains(0)=%v", r.Contains(1), r.Contains(0))
+	}
+}
+
+func TestDynamicRingIncrementalMoves(t *testing.T) {
+	// A join must only relocate keys whose owner becomes the newcomer —
+	// every other key keeps its owner (the incremental-recomputation
+	// property the elastic design depends on).
+	r := ringWith(t, 8, 4)
+	const keys = 2000
+	before := make([]types.ServerID, keys)
+	for i := range before {
+		before[i] = r.OwnerKey(fmt.Sprintf("key-%d", i))
+	}
+	r.Join(8, 0)
+	moved := 0
+	for i := range before {
+		after := r.OwnerKey(fmt.Sprintf("key-%d", i))
+		if after != before[i] {
+			if after != 8 {
+				t.Fatalf("key-%d moved %d -> %d, but only the joiner may gain keys", i, before[i], after)
+			}
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Fatalf("join moved no keys at all")
+	}
+	// Expect roughly 1/9 of the key space; accept a generous band.
+	if frac := float64(moved) / keys; frac > 0.30 {
+		t.Fatalf("join moved %.0f%% of keys, want ~11%%", frac*100)
+	}
+}
+
+func TestDynamicRingLeaveMovesOnlyVictimKeys(t *testing.T) {
+	r := ringWith(t, 8, 4)
+	const keys = 2000
+	before := make([]types.ServerID, keys)
+	for i := range before {
+		before[i] = r.OwnerKey(fmt.Sprintf("key-%d", i))
+	}
+	r.Leave(3)
+	for i := range before {
+		after := r.OwnerKey(fmt.Sprintf("key-%d", i))
+		if before[i] != 3 && after != before[i] {
+			t.Fatalf("key-%d moved %d -> %d although server 3 never owned it", i, before[i], after)
+		}
+		if before[i] == 3 && after == 3 {
+			t.Fatalf("key-%d still owned by departed server 3", i)
+		}
+	}
+}
+
+func TestDynamicRingTargetsDomainDiverse(t *testing.T) {
+	r := ringWith(t, 8, 4)
+	for id := types.ServerID(0); id < 8; id++ {
+		myDom, _ := r.Domain(id)
+		targets := r.Targets(id, 3)
+		if len(targets) != 3 {
+			t.Fatalf("server %d: got %d targets, want 3", id, len(targets))
+		}
+		seen := map[int]bool{myDom: true}
+		for _, tgt := range targets {
+			if tgt == id {
+				t.Fatalf("server %d listed as its own target", id)
+			}
+			d, ok := r.Domain(tgt)
+			if !ok {
+				t.Fatalf("target %d not a member", tgt)
+			}
+			if seen[d] {
+				t.Fatalf("server %d targets %v: domain %d repeated although 4 domains exist", id, targets, d)
+			}
+			seen[d] = true
+		}
+	}
+}
+
+func TestDynamicRingTargetsStableAfterLeave(t *testing.T) {
+	// Failover target selection must keep working for a primary that
+	// already left the ring (the drain window).
+	r := ringWith(t, 8, 4)
+	r.Leave(2)
+	targets := r.Targets(2, 2)
+	if len(targets) != 2 {
+		t.Fatalf("targets after leave: %v", targets)
+	}
+	for _, tgt := range targets {
+		if tgt == 2 {
+			t.Fatalf("departed server listed as its own successor")
+		}
+	}
+}
+
+func TestDynamicRingKeyGroup(t *testing.T) {
+	r := ringWith(t, 8, 4)
+	g := r.KeyGroup("dir:some-key", 3)
+	if len(g) != 3 {
+		t.Fatalf("key group size %d, want 3", len(g))
+	}
+	if g[0] != r.OwnerKey("dir:some-key") {
+		t.Fatalf("group head %d is not the key owner %d", g[0], r.OwnerKey("dir:some-key"))
+	}
+	seen := make(map[types.ServerID]bool)
+	for _, id := range g {
+		if seen[id] {
+			t.Fatalf("key group %v repeats %d", g, id)
+		}
+		seen[id] = true
+	}
+	// Deterministic: same key, same group.
+	g2 := r.KeyGroup("dir:some-key", 3)
+	for i := range g {
+		if g[i] != g2[i] {
+			t.Fatalf("key group not deterministic: %v vs %v", g, g2)
+		}
+	}
+}
+
+func TestDynamicRingBalance(t *testing.T) {
+	r := ringWith(t, 8, 4)
+	counts := make(map[types.ServerID]int)
+	const keys = 8000
+	for i := 0; i < keys; i++ {
+		counts[r.OwnerKey(fmt.Sprintf("obj/%d", i))]++
+	}
+	want := keys / 8
+	for id, n := range counts {
+		if n < want/3 || n > want*3 {
+			t.Fatalf("server %d owns %d of %d keys (expected ~%d): load badly skewed", id, n, keys, want)
+		}
+	}
+}

@@ -66,6 +66,12 @@ const (
 	MsgChecksum // ask a holder for the live checksum of its copy of Key
 	MsgShardSum // ask a member for the live checksum of a stripe shard
 
+	// Membership plane (SWIM-style gossip; payloads in Data carry the
+	// membership package's own update codec, piggybacked on every probe).
+	MsgPingReq // indirect probe: ask the receiver to ping server Num for us
+	MsgGossip  // membership update exchange (Flag = pull a full snapshot)
+	MsgHandoff // primary relinquish after migration moved Key elsewhere
+
 	kindCount // sentinel; keep last
 )
 
@@ -76,6 +82,7 @@ var kindNames = [...]string{
 	"MetaUpdate", "MetaLookup", "MetaQuery", "MetaDelete", "StripeUpdate", "StripeLookup", "DirDump",
 	"TokenAcquire", "TokenRelease", "LoadQuery", "Ping", "Recover", "Stats",
 	"Checksum", "ShardSum",
+	"PingReq", "Gossip", "Handoff",
 }
 
 // String implements fmt.Stringer.

@@ -1,0 +1,532 @@
+package corec
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"corec/internal/failure"
+	"corec/internal/membership"
+	"corec/internal/topology"
+	"corec/internal/types"
+)
+
+// elasticConfig builds a cluster config with elastic membership in manual
+// (test-driven) gossip mode: the protocol only advances on TickMembership,
+// so every chaos schedule below is fully deterministic under its seed.
+func elasticConfig(n int) Config {
+	cfg := DefaultConfig(n)
+	cfg.Mode = PolicyCoREC
+	cfg.Membership = &MembershipConfig{Manual: true}
+	cfg.Rebalance = &RebalanceConfig{RateMBps: -1} // unpaced: unit tests value speed
+	return cfg
+}
+
+func elasticCluster(t *testing.T, cfg Config) *Cluster {
+	t.Helper()
+	c, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+// tickUntil advances the gossip protocol up to `rounds` ticks, stopping
+// early once cond holds. Returns whether cond held.
+func tickUntil(c *Cluster, rounds int, cond func() bool) bool {
+	ctx := context.Background()
+	for i := 0; i < rounds; i++ {
+		if cond() {
+			return true
+		}
+		c.TickMembership(ctx)
+	}
+	return cond()
+}
+
+func churnBox(i int) Box {
+	return Box3D(int64(i)*8, 0, 0, int64(i)*8+8, 8, 8)
+}
+
+// seedChurnObjects stages `n` objects at version 1 and cools them through a
+// step boundary so the fleet holds a mix of replicated and encoded state.
+func seedChurnObjects(t *testing.T, c *Cluster, cl *Client, name string, n int) map[int][]byte {
+	t.Helper()
+	ctx := context.Background()
+	committed := make(map[int][]byte, n)
+	for i := 0; i < n; i++ {
+		data := regionData(t, churnBox(i), 8, int64(5000+i))
+		if err := cl.Put(ctx, name, churnBox(i), 1, data); err != nil {
+			t.Fatalf("seed put %d: %v", i, err)
+		}
+		committed[i] = data
+	}
+	c.EndTimeStep(2)
+	return committed
+}
+
+func verifyChurnObjects(t *testing.T, cl *Client, name string, committed map[int][]byte, versions map[int]Version, stage string) {
+	t.Helper()
+	ctx := context.Background()
+	for i, want := range committed {
+		v := Version(1)
+		if versions != nil {
+			if vv, ok := versions[i]; ok {
+				v = vv
+			}
+		}
+		got, err := cl.Get(ctx, name, churnBox(i), v)
+		if err != nil {
+			t.Fatalf("%s: object %d unreadable: %v", stage, i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s: object %d payload corrupted", stage, i)
+		}
+	}
+}
+
+// TestElasticGossipDetectsKillAndRebalances is the tentpole acceptance
+// scenario: a server killed mid-workload is detected by gossip alone (no
+// monitor runs), the ring drops it incrementally, a replacement joins under
+// the same id, and the paced migrator restores redundancy with zero data
+// loss.
+func TestElasticGossipDetectsKillAndRebalances(t *testing.T) {
+	cfg := elasticConfig(8)
+	c := elasticCluster(t, cfg)
+	cl := c.NewClient()
+	ctx := context.Background()
+
+	const objects = 16
+	committed := seedChurnObjects(t, c, cl, "elastic", objects)
+	versions := make(map[int]Version)
+
+	// Hot rewrites so replicated state exists alongside the cooled stripes.
+	for i := 0; i < 6; i++ {
+		data := regionData(t, churnBox(i), 8, int64(7000+i))
+		if err := cl.Put(ctx, "elastic", churnBox(i), 3, data); err != nil {
+			t.Fatalf("hot put %d: %v", i, err)
+		}
+		committed[i] = data
+		versions[i] = 3
+	}
+
+	ring := c.Ring()
+	victim := ring.OwnerKey(types.ObjectID{Var: "elastic", Box: churnBox(0)}.Key())
+	epoch0 := ring.Epoch()
+	c.Kill(ServerID(victim))
+
+	// Workload continues mid-churn: writes whose primary just died must fail
+	// over to ring successors while the death is still undetected.
+	for i := 6; i < 9; i++ {
+		data := regionData(t, churnBox(i), 8, int64(7100+i))
+		if err := cl.Put(ctx, "elastic", churnBox(i), 3, data); err != nil {
+			t.Fatalf("mid-churn put %d: %v", i, err)
+		}
+		committed[i] = data
+		versions[i] = 3
+	}
+
+	// Detection comes from gossip: no monitor is running in this test.
+	if !tickUntil(c, 200, func() bool { return !ring.Contains(victim) }) {
+		t.Fatalf("gossip never evicted killed server %d from the ring", victim)
+	}
+	if ring.Size() != 7 {
+		t.Fatalf("ring size %d after eviction, want 7", ring.Size())
+	}
+	if ring.Epoch() <= epoch0 {
+		t.Fatalf("ring epoch did not advance on eviction")
+	}
+
+	// The death surfaced on the membership event stream.
+	sawDeath := false
+	for drained := false; !drained; {
+		select {
+		case ev := <-c.MemberEvents():
+			if ev.Kind == MemberDied && ev.ID == victim {
+				sawDeath = true
+			}
+		default:
+			drained = true
+		}
+	}
+	if !sawDeath {
+		t.Fatalf("no MemberDied event delivered for server %d", victim)
+	}
+
+	// Degraded reads stay correct between eviction and rebalance.
+	verifyChurnObjects(t, cl, "elastic", committed, versions, "degraded")
+
+	// Replacement joins under the same id; the ring recomputes incrementally
+	// (exactly one arc per virtual node moves to the newcomer).
+	arcsBefore := c.FabricStatus().Membership.ArcsMoved
+	if err := c.Join(ServerID(victim)); err != nil {
+		t.Fatalf("join replacement: %v", err)
+	}
+	if !ring.Contains(victim) || ring.Size() != 8 {
+		t.Fatalf("replacement not in ring: contains=%v size=%d", ring.Contains(victim), ring.Size())
+	}
+	if delta := c.FabricStatus().Membership.ArcsMoved - arcsBefore; delta != topology.DefaultVirtualNodes {
+		t.Fatalf("rejoin moved %d arcs, want exactly %d (one per vnode)", delta, topology.DefaultVirtualNodes)
+	}
+	for i := 0; i < 5; i++ {
+		c.TickMembership(ctx)
+	}
+	// Every surviving agent flipped the tombstone back to alive.
+	for _, id := range ring.Members() {
+		a := c.MembershipAgent(ServerID(id))
+		if a == nil {
+			continue
+		}
+		if st, ok := a.State(victim); !ok || st != membership.StateAlive {
+			t.Fatalf("agent %d sees replacement %d as %v", id, victim, st)
+		}
+	}
+
+	// The migrator restores placement and redundancy with zero loss.
+	rep, err := c.Rebalance(ctx)
+	if err != nil {
+		t.Fatalf("rebalance: %v", err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("rebalance reported %d errors: %+v", rep.Errors, rep)
+	}
+	verifyChurnObjects(t, cl, "elastic", committed, versions, "post-rebalance")
+
+	ms := c.FabricStatus().Membership
+	if !ms.Enabled || ms.Probes == 0 || ms.Rebalances == 0 {
+		t.Fatalf("membership status not populated: %+v", ms)
+	}
+}
+
+// TestElasticScaleOutMidWorkload grows the fleet with JoinNew while writes
+// are in flight, rebalances, and verifies the newcomer actually owns part
+// of the key space with no foreground loss.
+func TestElasticScaleOutMidWorkload(t *testing.T) {
+	cfg := elasticConfig(6)
+	c := elasticCluster(t, cfg)
+	cl := c.NewClient()
+	ctx := context.Background()
+
+	const objects = 18
+	committed := seedChurnObjects(t, c, cl, "scaleout", objects)
+	versions := make(map[int]Version)
+
+	id, err := c.JoinNew()
+	if err != nil {
+		t.Fatalf("join new: %v", err)
+	}
+	if int(id) != 6 {
+		t.Fatalf("JoinNew allocated id %d, want 6", id)
+	}
+	ring := c.Ring()
+	if ring.Size() != 7 {
+		t.Fatalf("ring size %d after scale-out, want 7", ring.Size())
+	}
+
+	// Foreground writes continue across the membership change.
+	for i := 0; i < 6; i++ {
+		data := regionData(t, churnBox(i), 8, int64(8000+i))
+		if err := cl.Put(ctx, "scaleout", churnBox(i), 3, data); err != nil {
+			t.Fatalf("put during scale-out %d: %v", i, err)
+		}
+		committed[i] = data
+		versions[i] = 3
+	}
+	for i := 0; i < 5; i++ {
+		c.TickMembership(ctx)
+	}
+
+	// The newcomer owns a share of the key space.
+	owned := 0
+	for i := 0; i < 500; i++ {
+		if ring.OwnerKey(fmt.Sprintf("sample/%d", i)) == types.ServerID(id) {
+			owned++
+		}
+	}
+	if owned == 0 {
+		t.Fatalf("joiner owns no keys out of 500 sampled")
+	}
+
+	rep, err := c.Rebalance(ctx)
+	if err != nil {
+		t.Fatalf("rebalance: %v", err)
+	}
+	if rep.Errors != 0 {
+		t.Fatalf("rebalance errors: %+v", rep)
+	}
+	verifyChurnObjects(t, cl, "scaleout", committed, versions, "post-scale-out")
+}
+
+// TestElasticRollingRestart drains, removes, and rejoins every server in
+// turn — the rolling-upgrade schedule — with reads verified at every stage
+// and writes landing mid-roll (fenced writes must fail over, not fail).
+func TestElasticRollingRestart(t *testing.T) {
+	if testing.Short() {
+		t.Skip("rolling restart skipped in -short mode")
+	}
+	cfg := elasticConfig(6)
+	c := elasticCluster(t, cfg)
+	cl := c.NewClient()
+	ctx := context.Background()
+
+	const objects = 12
+	committed := seedChurnObjects(t, c, cl, "roll", objects)
+	versions := make(map[int]Version)
+	ring := c.Ring()
+
+	for id := 0; id < 6; id++ {
+		rep, err := c.DrainAndLeave(ctx, ServerID(id))
+		if err != nil {
+			t.Fatalf("drain %d: %v", id, err)
+		}
+		if rep.Errors != 0 {
+			t.Fatalf("drain %d rebalance errors: %+v", id, rep)
+		}
+		if ring.Contains(types.ServerID(id)) || ring.Size() != 5 {
+			t.Fatalf("ring after drain %d: contains=%v size=%d", id, ring.Contains(types.ServerID(id)), ring.Size())
+		}
+		verifyChurnObjects(t, cl, "roll", committed, versions, fmt.Sprintf("drained %d", id))
+
+		// A write mid-roll: version advances on one object per round.
+		obj := id % objects
+		v := Version(3 + id)
+		data := regionData(t, churnBox(obj), 8, int64(9000+id))
+		if err := cl.Put(ctx, "roll", churnBox(obj), v, data); err != nil {
+			t.Fatalf("mid-roll put (server %d down): %v", id, err)
+		}
+		committed[obj] = data
+		versions[obj] = v
+
+		if err := c.Join(ServerID(id)); err != nil {
+			t.Fatalf("rejoin %d: %v", id, err)
+		}
+		for i := 0; i < 4; i++ {
+			c.TickMembership(ctx)
+		}
+		if _, err := c.Rebalance(ctx); err != nil {
+			t.Fatalf("rebalance after rejoin %d: %v", id, err)
+		}
+		verifyChurnObjects(t, cl, "roll", committed, versions, fmt.Sprintf("rejoined %d", id))
+	}
+	if ring.Size() != 6 {
+		t.Fatalf("fleet size %d after full roll, want 6", ring.Size())
+	}
+}
+
+// TestElasticJoinLeaveFlapping flaps extra capacity in and out repeatedly —
+// including a rejoin under an id that previously left, which must override
+// the Left tombstone via the incarnation bump.
+func TestElasticJoinLeaveFlapping(t *testing.T) {
+	cfg := elasticConfig(6)
+	c := elasticCluster(t, cfg)
+	cl := c.NewClient()
+	ctx := context.Background()
+
+	const objects = 10
+	committed := seedChurnObjects(t, c, cl, "flap", objects)
+	ring := c.Ring()
+	lastEpoch := ring.Epoch()
+
+	flapID, err := c.JoinNew()
+	if err != nil {
+		t.Fatalf("initial join: %v", err)
+	}
+	for cycle := 0; cycle < 3; cycle++ {
+		for i := 0; i < 3; i++ {
+			c.TickMembership(ctx)
+		}
+		if _, err := c.DrainAndLeave(ctx, flapID); err != nil {
+			t.Fatalf("cycle %d leave: %v", cycle, err)
+		}
+		if ring.Size() != 6 {
+			t.Fatalf("cycle %d: ring size %d after leave, want 6", cycle, ring.Size())
+		}
+		verifyChurnObjects(t, cl, "flap", committed, nil, fmt.Sprintf("cycle %d out", cycle))
+
+		// Same id rejoins: the Left tombstone must lose to the replacement.
+		if err := c.Join(flapID); err != nil {
+			t.Fatalf("cycle %d rejoin: %v", cycle, err)
+		}
+		if !ring.Contains(types.ServerID(flapID)) {
+			t.Fatalf("cycle %d: flapping server not re-admitted", cycle)
+		}
+		if ep := ring.Epoch(); ep <= lastEpoch {
+			t.Fatalf("cycle %d: epoch stalled at %d", cycle, ep)
+		} else {
+			lastEpoch = ep
+		}
+		if _, err := c.Rebalance(ctx); err != nil {
+			t.Fatalf("cycle %d rebalance: %v", cycle, err)
+		}
+		verifyChurnObjects(t, cl, "flap", committed, nil, fmt.Sprintf("cycle %d in", cycle))
+	}
+	if _, err := c.DrainAndLeave(ctx, flapID); err != nil {
+		t.Fatalf("final leave: %v", err)
+	}
+	verifyChurnObjects(t, cl, "flap", committed, nil, "final")
+}
+
+// TestElasticPartitionRefutationNotEviction drives the seeded
+// false-suspicion scenario: a healthy server cut off by an asymmetric
+// partition is suspected, but once the partition heals inside the
+// refutation window it bumps its incarnation and stays a member — counted
+// as a false positive, not a death.
+func TestElasticPartitionRefutationNotEviction(t *testing.T) {
+	cfg := elasticConfig(8)
+	cfg.Membership.SuspicionTicks = 12
+	cfg.FaultPlan = &failure.FaultPlan{} // quiet injector: manual partitions only
+	c := elasticCluster(t, cfg)
+	ring := c.Ring()
+
+	const victim = types.ServerID(5)
+	var rest []types.ServerID
+	for i := types.ServerID(0); i < 8; i++ {
+		if i != victim {
+			rest = append(rest, i)
+		}
+	}
+	heal := c.Faults().Partition([]types.ServerID{victim}, rest)
+
+	suspected := func() bool {
+		for _, id := range rest {
+			a := c.MembershipAgent(ServerID(id))
+			if a == nil {
+				continue
+			}
+			if st, ok := a.State(victim); ok && st == membership.StateSuspect {
+				return true
+			}
+		}
+		return false
+	}
+	if !tickUntil(c, 60, suspected) {
+		t.Fatalf("partitioned server was never suspected")
+	}
+	heal()
+
+	converged := func() bool {
+		for i := types.ServerID(0); i < 8; i++ {
+			a := c.MembershipAgent(ServerID(i))
+			if a == nil {
+				return false
+			}
+			if st, _ := a.State(victim); st != membership.StateAlive {
+				return false
+			}
+		}
+		return true
+	}
+	if !tickUntil(c, 120, converged) {
+		t.Fatalf("fleet never converged back to alive for the partitioned server")
+	}
+	if !ring.Contains(victim) {
+		t.Fatalf("healthy-but-partitioned server evicted from the ring")
+	}
+	// The refutation bumped the victim's incarnation and was tallied.
+	if a := c.MembershipAgent(ServerID(victim)); a == nil || a.Incarnation() == 0 {
+		t.Fatalf("victim's incarnation never bumped (no refutation)")
+	}
+	ms := c.FabricStatus().Membership
+	if ms.Refutations == 0 || ms.FalsePositives == 0 {
+		t.Fatalf("refutation counters empty: %+v", ms)
+	}
+	// And no death event was ever published for the victim.
+	for drained := false; !drained; {
+		select {
+		case ev := <-c.MemberEvents():
+			if ev.Kind == MemberDied && ev.ID == victim {
+				t.Fatalf("MemberDied published for a healthy partitioned server")
+			}
+		default:
+			drained = true
+		}
+	}
+}
+
+// TestElasticEvictionIsNotPermanent holds the partition past the suspicion
+// deadline so the victim genuinely gets evicted — then heals and checks the
+// incarnation-bump rejoin path re-admits it without operator action.
+func TestElasticEvictionIsNotPermanent(t *testing.T) {
+	cfg := elasticConfig(8)
+	cfg.FaultPlan = &failure.FaultPlan{}
+	c := elasticCluster(t, cfg)
+	ring := c.Ring()
+
+	const victim = types.ServerID(2)
+	var rest []types.ServerID
+	for i := types.ServerID(0); i < 8; i++ {
+		if i != victim {
+			rest = append(rest, i)
+		}
+	}
+	heal := c.Faults().Partition([]types.ServerID{victim}, rest)
+	if !tickUntil(c, 300, func() bool { return !ring.Contains(victim) }) {
+		t.Fatalf("sustained partition never led to eviction")
+	}
+	heal()
+	if !tickUntil(c, 300, func() bool { return ring.Contains(victim) }) {
+		t.Fatalf("evicted-but-healthy server never re-admitted after heal")
+	}
+}
+
+// TestElasticMonitorConsumesEvents wires the monitor in elastic mode: it
+// must act as a thin consumer of gossip events — surfacing detection and
+// driving auto-recovery — rather than probing servers itself.
+func TestElasticMonitorConsumesEvents(t *testing.T) {
+	cfg := elasticConfig(8)
+	c := elasticCluster(t, cfg)
+	cl := c.NewClient()
+	ctx := context.Background()
+
+	const objects = 8
+	committed := seedChurnObjects(t, c, cl, "monel", objects)
+
+	m := c.StartMonitor(MonitorConfig{Interval: time.Hour, AutoRecover: true})
+	defer m.Stop()
+
+	c.Kill(3)
+	deadline := time.Now().Add(5 * time.Second)
+	detected := false
+	for time.Now().Before(deadline) && !detected {
+		c.TickMembership(ctx)
+		for _, ev := range m.Events() {
+			if ev.Kind == EventFailureDetected && ev.Server == 3 {
+				detected = true
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if !detected {
+		t.Fatalf("monitor never surfaced the gossip-detected failure; events: %+v", m.Events())
+	}
+	// Auto-recovery replaces the server; the replacement re-enters the ring.
+	if !tickUntil(c, 2000, func() bool { return c.Ring().Contains(3) && c.Alive(3) }) {
+		t.Fatalf("auto-recovery never restored server 3")
+	}
+	verifyChurnObjects(t, cl, "monel", committed, nil, "post-auto-recovery")
+}
+
+// TestMonitorProbeTimeoutDecoupled covers the static-mode satellite: the
+// monitor's per-probe RPC deadline is its own knob, no longer welded to the
+// sweep interval — a tight timeout with a moderate interval must still
+// detect failures, and a zero value must fall back to the interval.
+func TestMonitorProbeTimeoutDecoupled(t *testing.T) {
+	c := testCluster(t, PolicyReplicate)
+	m := c.StartMonitor(MonitorConfig{
+		Interval:     20 * time.Millisecond,
+		ProbeTimeout: 2 * time.Millisecond,
+	})
+	defer m.Stop()
+	c.Kill(2)
+	waitForEvent(t, m, EventFailureDetected, 2, 3*time.Second)
+
+	// Zero ProbeTimeout defaults to the interval (legacy behavior).
+	c2 := testCluster(t, PolicyReplicate)
+	m2 := c2.StartMonitor(MonitorConfig{Interval: 10 * time.Millisecond})
+	defer m2.Stop()
+	c2.Kill(5)
+	waitForEvent(t, m2, EventFailureDetected, 5, 3*time.Second)
+}

@@ -33,6 +33,12 @@ type Monitor struct {
 type MonitorConfig struct {
 	// Interval between heartbeat rounds. Default 50ms.
 	Interval time.Duration
+	// ProbeTimeout bounds each individual heartbeat RPC. It defaults to
+	// Interval for backward compatibility, but the two answer different
+	// questions — how often to look vs how long to wait — so a slow fabric
+	// can get a long probe deadline without also slowing the sweep cadence
+	// (or vice versa).
+	ProbeTimeout time.Duration
 	// SuspectThreshold is how many consecutive missed heartbeats declare a
 	// server dead. Default 2.
 	SuspectThreshold int
@@ -88,6 +94,9 @@ func (c *Cluster) StartMonitor(cfg MonitorConfig) *Monitor {
 	if cfg.Interval <= 0 {
 		cfg.Interval = 50 * time.Millisecond
 	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = cfg.Interval
+	}
 	if cfg.SuspectThreshold <= 0 {
 		cfg.SuspectThreshold = 2
 	}
@@ -100,7 +109,14 @@ func (c *Cluster) StartMonitor(cfg MonitorConfig) *Monitor {
 		cancel:   cancel,
 		done:     make(chan struct{}),
 	}
-	go m.run(ctx)
+	if c.elastic != nil {
+		// Elastic mode: gossip already detects failures fleet-wide; the
+		// monitor keeps only its reaction role, consuming membership events
+		// instead of running its own heartbeat sweep.
+		go m.runElastic(ctx)
+	} else {
+		go m.run(ctx)
+	}
 	return m
 }
 
@@ -147,7 +163,7 @@ func (m *Monitor) probeAll(ctx context.Context) {
 	c := m.cluster
 	for i := 0; i < c.cfg.Servers; i++ {
 		id := types.ServerID(i)
-		probeCtx, cancel := context.WithTimeout(ctx, m.cfg.Interval)
+		probeCtx, cancel := context.WithTimeout(ctx, m.cfg.ProbeTimeout)
 		resp, err := c.net.Send(probeCtx, -1, id, &transport.Message{Kind: transport.MsgPing})
 		cancel()
 		alive := err == nil && resp.Kind == transport.MsgOK
@@ -178,6 +194,52 @@ func (m *Monitor) probeAll(ctx context.Context) {
 				go m.recover(ctx, id)
 			}
 		}
+	}
+}
+
+// runElastic is the membership-event consumer loop: deaths reported by the
+// gossip fleet trigger the same detection event and (optional) recovery as
+// a heartbeat verdict would; voluntary departures and refuted suspicions
+// need no reaction beyond bookkeeping.
+func (m *Monitor) runElastic(ctx context.Context) {
+	defer close(m.done)
+	events := m.cluster.MemberEvents()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case ev := <-events:
+			m.handleMemberEvent(ctx, ev)
+		}
+	}
+}
+
+func (m *Monitor) handleMemberEvent(ctx context.Context, ev MembershipEvent) {
+	id := ev.ID
+	switch ev.Kind {
+	case MemberDied:
+		m.mu.Lock()
+		already := m.dead[id]
+		m.dead[id] = true
+		m.mu.Unlock()
+		if already {
+			return
+		}
+		m.emit(MonitorEvent{Kind: EventFailureDetected, Server: ServerID(id), Time: time.Now()})
+		if m.cfg.AutoRecover {
+			go m.recover(ctx, id)
+		}
+	case MemberJoined, MemberRefuted:
+		m.mu.Lock()
+		delete(m.dead, id)
+		m.suspects[id] = 0
+		m.mu.Unlock()
+	case MemberLeft:
+		// Voluntary departure after a drain: data already moved, nothing to
+		// recover. Clear any stale death record for the id.
+		m.mu.Lock()
+		delete(m.dead, id)
+		m.mu.Unlock()
 	}
 }
 

@@ -1,0 +1,7 @@
+//go:build !race
+
+package corec
+
+// raceEnabled reports whether the race detector instruments this build;
+// timing-sensitive assertions widen their noise floors accordingly.
+const raceEnabled = false

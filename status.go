@@ -4,8 +4,10 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"sort"
 	"time"
 
+	"corec/internal/membership"
 	"corec/internal/metrics"
 	"corec/internal/server"
 	"corec/internal/transport"
@@ -24,11 +26,10 @@ type ServerStatus struct {
 // Status polls every staging server for its status report. Works over any
 // transport, including remote clusters — the admin view corec-cli exposes.
 func (cl *Client) Status(ctx context.Context) []ServerStatus {
-	c := cl.cluster
-	out := make([]ServerStatus, c.cfg.Servers)
-	for i := 0; i < c.cfg.Servers; i++ {
-		id := types.ServerID(i)
-		out[i].ID = ServerID(i)
+	members := cl.memberView()
+	out := make([]ServerStatus, len(members))
+	for i, id := range members {
+		out[i].ID = ServerID(id)
 		resp, err := cl.send(ctx, id, &transport.Message{Kind: transport.MsgStats})
 		if err != nil || resp.Kind != transport.MsgOK {
 			continue
@@ -72,6 +73,46 @@ type FabricStatus struct {
 	// Transport reports the TCP fabric's multiplexing and buffer-pool view;
 	// zero for the in-process fabric.
 	Transport TransportStatus
+	// Membership reports the elastic-membership plane's view; zero (with
+	// Enabled false) for static fleets.
+	Membership MembershipStatus
+}
+
+// MembershipStatus aggregates the gossip failure detector and live
+// rebalancing counters across the fleet's agents.
+type MembershipStatus struct {
+	// Enabled reports whether the cluster runs elastic membership.
+	Enabled bool
+	// RingEpoch is the placement ring's version; it moves on every join,
+	// leave or gossip-confirmed death.
+	RingEpoch uint64
+	// Members is the ring's current member count; Agents the number of
+	// locally running gossip agents.
+	Members int
+	Agents  int
+	// Probes/IndirectProbes count probe RPCs issued fleet-wide.
+	Probes         int64
+	IndirectProbes int64
+	// Suspicions counts alive→suspect transitions observed; Refutations the
+	// incarnation bumps suspects performed to cancel suspicions of
+	// themselves; FalsePositives the suspicions that ended refuted rather
+	// than confirmed (each one a server nearly evicted wrongly).
+	Suspicions     int64
+	Refutations    int64
+	FalsePositives int64
+	// ArcsMoved is the cumulative count of ring arcs that changed owner —
+	// the incremental-recomputation measure (a join or leave moves only the
+	// arcs adjacent to the touched server's virtual nodes).
+	ArcsMoved int64
+	// Rebalances counts Rebalance passes; the remaining fields are the
+	// paced migrator's cumulative progress tallies.
+	Rebalances      int64
+	DirRehomed      int64
+	ObjectsMoved    int64
+	ObjectsRepaired int64
+	Reencoded       int64
+	Handoffs        int64
+	BytesMoved      int64
 }
 
 // TransportStatus aggregates the TCP fabric's transport-performance view:
@@ -184,6 +225,37 @@ func (c *Cluster) FabricStatus() FabricStatus {
 		}
 	}
 	c.mu.Unlock()
+	if e := c.elastic; e != nil {
+		ms := &st.Membership
+		ms.Enabled = true
+		ms.RingEpoch = e.ring.Epoch()
+		ms.Members = e.ring.Size()
+		e.mu.Lock()
+		agents := make([]*membership.Agent, 0, len(e.agents))
+		for _, a := range e.agents {
+			agents = append(agents, a)
+		}
+		e.mu.Unlock()
+		sort.Slice(agents, func(i, j int) bool { return agents[i].ID() < agents[j].ID() })
+		ms.Agents = len(agents)
+		// Outside the elastic lock: each Stats call takes its agent's lock.
+		for _, a := range agents {
+			as := a.Stats()
+			ms.Probes += as.Probes
+			ms.IndirectProbes += as.IndirectProbes
+			ms.Suspicions += as.Suspicions
+			ms.Refutations += as.Refutations
+			ms.FalsePositives += as.FalsePositives
+		}
+		ms.ArcsMoved = e.arcsMoved.Load()
+		ms.Rebalances = e.rebalances.Load()
+		ms.DirRehomed = e.dirRehomed.Load()
+		ms.ObjectsMoved = e.objectsMoved.Load()
+		ms.ObjectsRepaired = e.objectsRepaired.Load()
+		ms.Reencoded = e.reencoded.Load()
+		ms.Handoffs = e.handoffs.Load()
+		ms.BytesMoved = e.bytesMoved.Load()
+	}
 	return st
 }
 

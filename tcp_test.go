@@ -149,6 +149,87 @@ func TestRemoteClusterClient(t *testing.T) {
 	}
 }
 
+// TestRemoteClusterElasticRing is the cross-process elastic regression:
+// a remote handle with Membership set bootstraps its placement ring from
+// a gossip snapshot, so its reads and writes keep landing correctly while
+// the fleet behind it grows (JoinNew) and shrinks (DrainAndLeave) —
+// exactly the corec-server -membership + corec-cli -membership pairing.
+func TestRemoteClusterElasticRing(t *testing.T) {
+	cfg := DefaultConfig(8)
+	cfg.Transport = "tcp"
+	cfg.Mode = PolicyCoREC
+	cfg.Membership = &MembershipConfig{}
+	host, err := NewCluster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer host.Close()
+
+	newRemote := func() (*Cluster, *Client) {
+		t.Helper()
+		remoteCfg := DefaultConfig(8)
+		remoteCfg.Mode = PolicyCoREC
+		remoteCfg.ElemSize = 1
+		remoteCfg.Membership = &MembershipConfig{}
+		remote, err := NewRemoteCluster(remoteCfg, host.ServerAddrs())
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { remote.Close() })
+		return remote, remote.NewClient()
+	}
+
+	remote, client := newRemote()
+	if got, want := remote.Ring().Epoch(), host.Ring().Epoch(); got != want {
+		t.Fatalf("remote ring epoch %d, host %d", got, want)
+	}
+	ctx := context.Background()
+	payload := []byte("elastic fleet over tcp")
+	box := Box{Lo: []int64{0}, Hi: []int64{int64(len(payload))}}
+	if err := client.Put(ctx, "demo", box, 1, payload); err != nil {
+		t.Fatal(err)
+	}
+
+	// Grow and shrink the fleet behind the client's back, moving data.
+	if _, err := host.JoinNew(); err != nil {
+		t.Fatal(err)
+	}
+	metas, err := client.Query(ctx, "demo", Box{})
+	if err != nil || len(metas) != 1 {
+		t.Fatalf("query: %v (%d metas)", err, len(metas))
+	}
+	if _, err := host.DrainAndLeave(ctx, metas[0].Primary); err != nil {
+		t.Fatalf("drain %d: %v", metas[0].Primary, err)
+	}
+
+	// The original handle's snapshot is stale but directory polling keeps
+	// reads correct; a fresh handle re-pulls the current ring and must see
+	// the post-churn fleet (9 joined, 1 left => 8 members).
+	if got, err := client.Get(ctx, "demo", box, 1); err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("stale-handle get = %q, %v", got, err)
+	}
+	remote2, client2 := newRemote()
+	if got, want := remote2.Ring().Size(), host.Ring().Size(); got != want {
+		t.Fatalf("fresh remote ring size %d, host %d", got, want)
+	}
+	if got, err := client2.Get(ctx, "demo", box, 1); err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("fresh-handle get = %q, %v", got, err)
+	}
+	members, err := client2.MemberSnapshot(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alive := 0
+	for _, m := range members {
+		if m.State == "alive" {
+			alive++
+		}
+	}
+	if alive != host.Ring().Size() {
+		t.Fatalf("snapshot alive=%d, ring size %d", alive, host.Ring().Size())
+	}
+}
+
 func TestRemoteClusterValidation(t *testing.T) {
 	if _, err := NewRemoteCluster(Config{}, nil); err == nil {
 		t.Fatal("empty address map accepted")

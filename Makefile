@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet staticcheck lint test race short scrubrace churnrace bench ci clean
+.PHONY: all build vet staticcheck lint test race short scrubrace churnrace storagerace bench ci clean
 
 all: ci
 
@@ -48,6 +48,13 @@ churnrace:
 	$(GO) test -race -run 'TestElastic|TestRebalance' .
 	$(GO) test -race ./internal/membership ./internal/topology
 
+# Race-detector pass focused on the tiered storage engine: the concurrent
+# spill/upload/prefetch chaos tests plus the cluster-level kill-restart
+# recovery of the disk tier.
+storagerace:
+	$(GO) test -race ./internal/storage
+	$(GO) test -race -run 'TestTiered' .
+
 # bench smoke-runs every Go benchmark once, then regenerates the erasure
 # engine's regression artifact (encode workers=1 vs N, cold vs cached decode
 # matrices at 4+2 and 8+3). BENCH_erasure.json is committed so perf
@@ -57,8 +64,9 @@ bench:
 	$(GO) run ./cmd/corec-bench -experiment erasure -json BENCH_erasure.json
 	$(GO) run ./cmd/corec-bench -experiment transport -json BENCH_transport.json
 	$(GO) run ./cmd/corec-bench -experiment membership -json BENCH_membership.json
+	$(GO) run ./cmd/corec-bench -experiment tiering -json BENCH_tiering.json
 
-ci: vet staticcheck lint build race scrubrace churnrace test
+ci: vet staticcheck lint build race scrubrace churnrace storagerace test
 
 clean:
 	$(GO) clean ./...

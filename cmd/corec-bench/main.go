@@ -8,14 +8,17 @@
 //
 //	corec-bench -experiment fig2|fig4|fig8|fig9|fig10|fig11|fig12|table1|
 //	            table2|read-penalty|model-validation|erasure|transport|
-//	            membership|all [-quick] [-csv dir] [-json file]
+//	            membership|tiering|all [-quick] [-csv dir] [-json file]
 //
 // The erasure experiment measures the parallel erasure-coding engine
 // (encode workers=1 vs N, cold vs cached decode matrices) and, with -json,
 // writes the regression artifact BENCH_erasure.json tracks. The transport
 // experiment measures staging round-trip throughput and latency (baseline
 // vs multiplexed TCP discipline, plus the in-process fabric) and writes
-// BENCH_transport.json the same way.
+// BENCH_transport.json the same way, and the tiering experiment drives a
+// working set 10x the L1 budget through the tiered storage engine
+// (all-in-RAM vs tiered vs tiered-without-prefetch) and writes
+// BENCH_tiering.json.
 package main
 
 import (
@@ -31,7 +34,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run: fig2, fig4, fig8, fig9, fig10, fig11, fig12, table1, table2, read-penalty, model-validation, erasure, transport, membership, or all")
+	experiment := flag.String("experiment", "all", "which experiment to run: fig2, fig4, fig8, fig9, fig10, fig11, fig12, table1, table2, read-penalty, model-validation, erasure, transport, membership, tiering, or all")
 	quick := flag.Bool("quick", false, "trim sweeps for a fast smoke run")
 	csvDir := flag.String("csv", "", "also write CSV files into this directory")
 	jsonPath := flag.String("json", "", "write the erasure experiment's report to this JSON file")
@@ -199,6 +202,15 @@ func run(experiment string, quick bool, csvDir string) error {
 		if err := writeBenchJSON(rep); err != nil {
 			return err
 		}
+	case "tiering":
+		rep, err := harness.RunTieringBench(quick)
+		if err != nil {
+			return err
+		}
+		harness.WriteTieringBench(out, rep)
+		if err := writeBenchJSON(rep); err != nil {
+			return err
+		}
 	case "read-penalty":
 		trials := 5
 		if quick {
@@ -222,7 +234,7 @@ func run(experiment string, quick bool, csvDir string) error {
 		saved := benchJSONPath
 		benchJSONPath = ""
 		defer func() { benchJSONPath = saved }()
-		for _, e := range []string{"table1", "fig2", "fig4", "fig8", "fig9", "fig10", "fig11", "fig12", "read-penalty", "model-validation", "erasure", "transport", "membership"} {
+		for _, e := range []string{"table1", "fig2", "fig4", "fig8", "fig9", "fig10", "fig11", "fig12", "read-penalty", "model-validation", "erasure", "transport", "membership", "tiering"} {
 			fmt.Fprintf(out, "==== %s ====\n", e)
 			if err := run(e, quick, csvDir); err != nil {
 				return fmt.Errorf("%s: %w", e, err)

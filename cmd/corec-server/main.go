@@ -8,6 +8,15 @@
 //	corec-server [-servers 8] [-mode corec] [-addr-file corec-addrs.json]
 //	             [-host 127.0.0.1] [-nlevel 1] [-k 3] [-s 0.67]
 //	             [-mux-conns 0] [-max-inflight 0] [-membership]
+//	             [-storage-dir DIR] [-storage-mem-mb N] [-storage-disk-mb N]
+//	             [-storage-remote] [-storage-remote-mbps 256]
+//	             [-storage-prefetch]
+//
+// The -storage-* flags enable the tiered storage engine: erasure shards
+// spill from memory (L1, -storage-mem-mb) to per-server append-only disk
+// segments under -storage-dir (L2), and with -storage-remote on to a
+// modeled shared object store (L3). A restarted service revalidates and
+// re-indexes the disk tier from -storage-dir instead of losing it.
 //
 // -mux-conns enables the multiplexed transport (pipelined connections with
 // pooled zero-copy frames); servers then expect request IDs on the stream,
@@ -44,6 +53,12 @@ func main() {
 	muxConns := flag.Int("mux-conns", 0, "multiplexed connections per peer (0 = one request per connection); clients must match")
 	maxInFlight := flag.Int("max-inflight", 0, "pipelining window per multiplexed connection (0 = default)")
 	elastic := flag.Bool("membership", false, "run elastic membership: SWIM gossip failure detection, dynamic ring, corec-cli join/drain control")
+	storageDir := flag.String("storage-dir", "", "enable the tiered storage engine: per-server disk segments live under this directory")
+	storageMemMB := flag.Int64("storage-mem-mb", 0, "L1 memory budget per server in MiB (0 = unbounded; requires -storage-dir to spill)")
+	storageDiskMB := flag.Int64("storage-disk-mb", 0, "L2 disk budget per server in MiB before uploads to the remote tier (0 = unbounded)")
+	storageRemote := flag.Bool("storage-remote", false, "enable the modeled L3 remote object store shared by the fleet")
+	storageRemoteMBps := flag.Float64("storage-remote-mbps", 256, "remote tier aggregate bandwidth in MiB/s (with -storage-remote)")
+	storagePrefetch := flag.Bool("storage-prefetch", false, "enable the next-time-step prefetch pipeline")
 	flag.Parse()
 
 	mode, err := policy.ParseMode(*modeName)
@@ -61,6 +76,20 @@ func main() {
 	cfg.MaxInFlight = *maxInFlight
 	if *elastic {
 		cfg.Membership = &corec.MembershipConfig{}
+	}
+	if *storageDir != "" || *storageMemMB > 0 {
+		sc := corec.StorageConfig{
+			MemBytes:  *storageMemMB << 20,
+			Dir:       *storageDir,
+			DiskBytes: *storageDiskMB << 20,
+			Prefetch:  *storagePrefetch,
+		}
+		if *storageRemote {
+			remote := corec.DefaultRemoteStoreConfig()
+			remote.BytesPerSecond = *storageRemoteMBps * (1 << 20)
+			sc.Remote = &remote
+		}
+		cfg.Storage = &sc
 	}
 
 	cluster, err := corec.NewCluster(cfg)

@@ -25,10 +25,12 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
 
+	"corec/internal/checkpoint"
 	"corec/internal/classifier"
 	"corec/internal/erasure"
 	"corec/internal/failure"
@@ -41,6 +43,7 @@ import (
 	"corec/internal/scrub"
 	"corec/internal/server"
 	"corec/internal/simnet"
+	"corec/internal/storage"
 	"corec/internal/topology"
 	"corec/internal/transport"
 	"corec/internal/types"
@@ -70,7 +73,18 @@ type (
 	ScrubConfig = scrub.Config
 	// ScrubReport tallies one scrub pass (or sweep) outcome.
 	ScrubReport = scrub.Report
+	// StorageConfig tunes the tiered (mem/disk/remote) storage engine.
+	StorageConfig = storage.Config
+	// RemoteStoreConfig models the shared L3 remote object store.
+	RemoteStoreConfig = storage.RemoteConfig
+	// StorageStats is one server's tiered-engine snapshot.
+	StorageStats = storage.Stats
+	// StorageRestoreReport is what a restarted server's disk scan found.
+	StorageRestoreReport = storage.RestoreReport
 )
+
+// DefaultRemoteStoreConfig returns the stock L3 object-store model.
+func DefaultRemoteStoreConfig() RemoteStoreConfig { return storage.DefaultRemoteConfig() }
 
 // DefaultScrubConfig returns the stock scrubber tuning.
 func DefaultScrubConfig() ScrubConfig { return scrub.DefaultConfig() }
@@ -190,6 +204,14 @@ type Config struct {
 	// nil uses defaults (64 MiB/s, 4 MiB burst). Only meaningful with
 	// Membership set.
 	Rebalance *RebalanceConfig
+	// Storage, when non-nil, runs every server's erasure shards through the
+	// tiered storage engine: L1 memory bounded by MemBytes, L2 append-only
+	// disk segments under Storage.Dir (each server gets its own
+	// "server-NNN" subdirectory, which a Replace reopens and revalidates),
+	// and — when Storage.Remote is set — one cluster-shared L3 remote
+	// object store. Nil keeps shards purely in memory, the pre-tiering
+	// behaviour.
+	Storage *StorageConfig
 }
 
 // DefaultConfig returns a CoREC cluster configuration over n servers
@@ -254,6 +276,7 @@ type Cluster struct {
 	col     *metrics.Collector
 	codec   *erasure.Codec
 	polCfg  policy.Config
+	remote  *storage.RemoteStore // shared L3 tier; nil without Storage.Remote
 	mu      sync.Mutex
 	servers map[types.ServerID]*server.Server
 
@@ -395,6 +418,12 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		polCfg:  polCfg,
 		servers: make(map[types.ServerID]*server.Server),
 	}
+	if cfg.Storage != nil && cfg.Storage.Remote != nil {
+		// One remote store for the whole fleet: like a real object store it
+		// outlives any single server, so kill/Replace cycles re-reach their
+		// uploads through the manifests persisted in each disk tier.
+		c.remote = storage.NewRemoteStore(*cfg.Storage.Remote)
+	}
 	if cfg.Membership != nil {
 		c.elastic = newElasticState(*cfg.Membership)
 		// Seed the ring with the initial fleet before any server starts, so
@@ -426,6 +455,19 @@ func (c *Cluster) startServer(id types.ServerID) (*server.Server, error) {
 	if c.elastic != nil {
 		ring = c.elastic.ring
 	}
+	var storeCfg *storage.Config
+	var ns string
+	if c.cfg.Storage != nil {
+		sc := *c.cfg.Storage
+		if sc.Dir != "" {
+			// Per-server segment directory, keyed by logical ID: a
+			// replacement server reopens its predecessor's directory and
+			// revalidates/re-indexes the surviving disk tier on startup.
+			sc.Dir = filepath.Join(sc.Dir, fmt.Sprintf("server-%03d", id))
+		}
+		storeCfg = &sc
+		ns = fmt.Sprintf("s%d/", id)
+	}
 	srv, err := server.New(server.Config{
 		ID:                 id,
 		Topology:           c.top,
@@ -442,6 +484,9 @@ func (c *Cluster) startServer(id types.ServerID) (*server.Server, error) {
 		MTBF:               c.cfg.MTBF,
 		HelperLoadDelta:    c.cfg.HelperLoadDelta,
 		ClassifierConfig:   cc,
+		Storage:            storeCfg,
+		RemoteStore:        c.remote,
+		StorageNS:          ns,
 	})
 	if err != nil {
 		return nil, err
@@ -537,6 +582,11 @@ func (c *Cluster) NumServers() int { return c.cfg.Servers }
 
 // Collector returns the shared metrics collector.
 func (c *Cluster) Collector() *metrics.Collector { return c.col }
+
+// RemoteStore returns the cluster-shared L3 object store, or nil when the
+// configuration has no remote tier. Chaos tests use it to keep the "object
+// store" alive across cluster restarts.
+func (c *Cluster) RemoteStore() *storage.RemoteStore { return c.remote }
 
 // Config returns the cluster configuration (after defaulting).
 func (c *Cluster) Config() Config { return c.cfg }
@@ -878,8 +928,17 @@ func (c *Cluster) StorageReport() StorageReport {
 // ServerBytes serializes every live server's staged data, the streams a
 // coordinated checkpoint would write (satisfies checkpoint.Snapshotter).
 func (c *Cluster) ServerBytes() [][]byte {
+	out := make([][]byte, 0, c.cfg.Servers)
+	for _, s := range c.serversByID() {
+		out = append(out, s.SerializeStore())
+	}
+	return out
+}
+
+// serversByID snapshots the live servers in ID order, not map order:
+// checkpoint streams must line up run-to-run.
+func (c *Cluster) serversByID() []*server.Server {
 	c.mu.Lock()
-	// ID order, not map order: checkpoint streams must line up run-to-run.
 	ids := make([]types.ServerID, 0, len(c.servers))
 	for id := range c.servers {
 		ids = append(ids, id)
@@ -890,11 +949,33 @@ func (c *Cluster) ServerBytes() [][]byte {
 		servers = append(servers, c.servers[id])
 	}
 	c.mu.Unlock()
-	out := make([][]byte, len(servers))
-	for i, s := range servers {
-		out[i] = s.SerializeStore()
+	return servers
+}
+
+// DirtyServerBytes serializes only the servers whose staged data may have
+// changed since the marks of a previous call (satisfies
+// checkpoint.IncrementalSnapshotter): a server whose incarnation appears in
+// prev with an unchanged mutation sequence yields a nil stream. The
+// mutation sequence is read before serializing, so a write racing the
+// capture can only make the next checkpoint conservatively re-serialize,
+// never skip a changed server.
+func (c *Cluster) DirtyServerBytes(prev []checkpoint.Mark) ([][]byte, []checkpoint.Mark) {
+	prevSeq := make(map[uint64]uint64, len(prev))
+	for _, m := range prev {
+		prevSeq[m.Incarnation] = m.Seq
 	}
-	return out
+	servers := c.serversByID()
+	streams := make([][]byte, len(servers))
+	marks := make([]checkpoint.Mark, len(servers))
+	for i, s := range servers {
+		m := checkpoint.Mark{Incarnation: s.Incarnation(), Seq: s.MutationSeq()}
+		marks[i] = m
+		if seq, ok := prevSeq[m.Incarnation]; ok && seq == m.Seq {
+			continue // clean since the previous checkpoint: stream elided
+		}
+		streams[i] = s.SerializeStore()
+	}
+	return streams, marks
 }
 
 // Close shuts down every server.

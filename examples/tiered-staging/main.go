@@ -1,9 +1,10 @@
-// tiered-staging: prototype of the paper's future-work extension —
-// spreading staged payloads across DRAM / NVRAM / SSD with utility-based
-// placement. A hotspot workload keeps one quarter of the domain hot; after
-// each time step the tiered store rebalances so the hot working set owns
-// the scarce DRAM while cold data spills to slower tiers, and the measured
-// read latencies show the difference.
+// tiered-staging: the storage engine's three tiers in isolation — L1
+// process memory, L2 append-only disk segments, L3 a modeled remote object
+// store. A hotspot workload keeps one quarter of the domain hot; the
+// utility-density spiller demotes the cold blocks so the hot working set
+// owns the scarce memory budget, and the measured read latencies show the
+// tier penalty. A sequential second pass then demonstrates the prefetcher
+// staging the next time step's blocks before they are asked for.
 //
 // Run with: go run ./examples/tiered-staging
 package main
@@ -12,10 +13,11 @@ import (
 	"fmt"
 	"log"
 	"math/rand"
+	"os"
 	"time"
 
 	"corec/internal/geometry"
-	"corec/internal/tiering"
+	"corec/internal/storage"
 )
 
 func main() {
@@ -26,29 +28,46 @@ func main() {
 	}
 	blockBytes := int(blocks[0].Volume()) * 8
 
-	// DRAM holds only a quarter of the dataset; NVRAM and SSD catch the
-	// spill. Costs are applied, and exaggerated to millisecond scale so
-	// the tier difference is visible above OS timer granularity.
-	cfg := tiering.DefaultConfig(int64(len(blocks)/4) * int64(blockBytes))
-	cfg.ApplyCosts = true
-	cfg.Tiers[tiering.NVRAM].ReadLatency = 2 * time.Millisecond
-	cfg.Tiers[tiering.SSD].ReadLatency = 8 * time.Millisecond
-	store, err := tiering.NewStore(cfg)
+	// Memory holds only a quarter of the dataset; the disk tier catches
+	// the spill and an artificially slow remote store catches the oldest
+	// cold data, so the tier difference is visible above timer noise.
+	dir, err := os.MkdirTemp("", "tiered-staging-")
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer os.RemoveAll(dir)
+	remoteCfg := storage.RemoteConfig{
+		OpenLatency:    4 * time.Millisecond,
+		BytesPerSecond: 64 << 20,
+	}
+	remote := storage.NewRemoteStore(remoteCfg)
+	eng, err := storage.Open(storage.Config{
+		MemBytes:  int64(len(blocks)/4) * int64(blockBytes),
+		Dir:       dir,
+		DiskBytes: int64(len(blocks)/2) * int64(blockBytes),
+		Prefetch:  true,
+		Remote:    &remoteCfg,
+	}, remote, "demo/")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
 
+	// Stage every block, tagged with time step 1 so the prefetcher can
+	// recognize sequential cross-step access later.
 	rng := rand.New(rand.NewSource(11))
 	for i, b := range blocks {
 		buf := make([]byte, blockBytes)
 		rng.Read(buf)
-		if _, err := store.Put(b.Key(), buf); err != nil {
-			log.Fatalf("stage block %d: %v", i, err)
+		eng.PutTagged(b.Key(), buf, 1)
+		if i%2 == 0 { // half the blocks exist for step 2 as well
+			eng.PutTagged("v2/"+b.Key(), buf, 2)
 		}
 	}
-	usage := store.Usage()
-	fmt.Printf("staged %d blocks (%d KiB each): dram %d KiB, nvram %d KiB, ssd %d KiB\n",
-		len(blocks), blockBytes>>10, usage[0]>>10, usage[1]>>10, usage[2]>>10)
+	eng.WaitIdle()
+	st := eng.Stats()
+	fmt.Printf("staged %d blocks (%d KiB each): mem %d, disk %d, remote %d\n",
+		len(blocks), blockBytes>>10, st.MemObjects, st.DiskObjects, st.RemoteObjects)
 
 	// The hot quarter: blocks whose lower corner sits in x<32, y<32.
 	var hot, cold []geometry.Box
@@ -63,29 +82,49 @@ func main() {
 	readSet := func(set []geometry.Box) time.Duration {
 		start := time.Now()
 		for _, b := range set {
-			if _, _, ok := store.Get(b.Key()); !ok {
+			if _, ok := eng.Get(b.Key()); !ok {
 				log.Fatalf("block %v missing", b)
 			}
 		}
 		return time.Since(start) / time.Duration(len(set))
 	}
 
-	fmt.Println("\nts   hot-read/blk  cold-read/blk  moved  hot-in-dram")
-	for ts := 1; ts <= 8; ts++ {
+	fmt.Println("\nts   hot-read/blk  cold-read/blk  hot-in-mem")
+	for ts := 1; ts <= 6; ts++ {
 		hotLat := readSet(hot)
 		var coldLat time.Duration
-		if ts%4 == 1 { // the analysis occasionally sweeps the cold data
+		if ts%3 == 1 { // the analysis occasionally sweeps the cold data
 			coldLat = readSet(cold)
 		}
-		moved := store.Rebalance()
-		inDram := 0
+		eng.WaitIdle()
+		inMem := 0
 		for _, b := range hot {
-			if l, _ := store.Level(b.Key()); l == tiering.DRAM {
-				inDram++
+			if tier, ok := eng.TierOf(b.Key()); ok && tier == storage.TierMem {
+				inMem++
 			}
 		}
-		fmt.Printf("%2d   %12v  %13v  %5d  %d/%d\n",
-			ts, hotLat.Round(time.Microsecond), coldLat.Round(time.Microsecond), moved, inDram, len(hot))
+		fmt.Printf("%2d   %12v  %13v  %d/%d\n",
+			ts, hotLat.Round(time.Microsecond), coldLat.Round(time.Microsecond), inMem, len(hot))
 	}
-	fmt.Println("\nafter warm-up the hot quarter owns DRAM and its reads are the cheap ones.")
+
+	// Sequential pass over step 1 arms the prefetcher, which stages the
+	// step-2 blocks behind the reader's back.
+	for _, b := range blocks {
+		if _, ok := eng.Get(b.Key()); !ok {
+			log.Fatalf("block %v missing", b)
+		}
+		eng.WaitIdle()
+	}
+	for i, b := range blocks {
+		if i%2 != 0 {
+			continue
+		}
+		if _, ok := eng.Get("v2/" + b.Key()); !ok {
+			log.Fatalf("step-2 block %v missing", b)
+		}
+	}
+	st = eng.Stats()
+	fmt.Printf("\nprefetch: issued %d, hits %d — the next step's blocks were already resident.\n",
+		st.PrefetchIssued, st.PrefetchHits)
+	fmt.Println("after warm-up the hot quarter owns memory and its reads are the cheap ones.")
 }

@@ -68,6 +68,108 @@ func TestCheckpointCostGrowsWithData(t *testing.T) {
 	}
 }
 
+// fakeIncSnap implements IncrementalSnapshotter over explicit marks.
+type fakeIncSnap struct {
+	streams [][]byte
+	marks   []Mark
+	// serialized counts how many streams each DirtyServerBytes call
+	// actually produced, for asserting clean servers cost nothing.
+	serialized int
+}
+
+func (f *fakeIncSnap) ServerBytes() [][]byte { return f.streams }
+
+func (f *fakeIncSnap) DirtyServerBytes(prev []Mark) ([][]byte, []Mark) {
+	prevSeq := make(map[uint64]uint64, len(prev))
+	for _, m := range prev {
+		prevSeq[m.Incarnation] = m.Seq
+	}
+	out := make([][]byte, len(f.streams))
+	f.serialized = 0
+	for i, s := range f.streams {
+		m := f.marks[i]
+		if seq, ok := prevSeq[m.Incarnation]; ok && seq == m.Seq {
+			continue
+		}
+		out[i] = s
+		f.serialized++
+	}
+	return out, append([]Mark(nil), f.marks...)
+}
+
+func TestIncrementalSkipsCleanServers(t *testing.T) {
+	cp := New(fastPFS())
+	src := &fakeIncSnap{
+		streams: [][]byte{[]byte("server0-aaaa"), []byte("server1-bbbb")},
+		marks:   []Mark{{Incarnation: 1, Seq: 5}, {Incarnation: 2, Seq: 9}},
+	}
+	cp.Checkpoint(src)
+	if src.serialized != 2 {
+		t.Fatalf("first checkpoint serialized %d streams, want 2", src.serialized)
+	}
+	_, bytesAfterFirst, _ := cp.Stats()
+	if bytesAfterFirst != 24 {
+		t.Fatalf("first checkpoint wrote %d bytes, want 24", bytesAfterFirst)
+	}
+
+	// No mutations: the second checkpoint writes zero bytes.
+	cp.Checkpoint(src)
+	if src.serialized != 0 {
+		t.Fatalf("quiescent checkpoint serialized %d streams, want 0", src.serialized)
+	}
+	count, bytesAfterSecond, _ := cp.Stats()
+	if count != 2 || bytesAfterSecond != bytesAfterFirst {
+		t.Fatalf("quiescent checkpoint wrote %d bytes (was %d)", bytesAfterSecond, bytesAfterFirst)
+	}
+	if cp.SkippedStreams() != 2 {
+		t.Fatalf("skipped = %d, want 2", cp.SkippedStreams())
+	}
+
+	// One server mutates; only it is rewritten, and restart still returns
+	// both streams — the clean one carried forward from the first capture.
+	src.streams[1] = []byte("server1-cccc")
+	src.marks[1].Seq++
+	cp.Checkpoint(src)
+	if src.serialized != 1 {
+		t.Fatalf("dirty checkpoint serialized %d streams, want 1", src.serialized)
+	}
+	_, bytesAfterThird, _ := cp.Stats()
+	if got := bytesAfterThird - bytesAfterSecond; got != 12 {
+		t.Fatalf("dirty checkpoint wrote %d bytes, want 12", got)
+	}
+	_, restored, err := cp.Restart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(restored[0], []byte("server0-aaaa")) || !bytes.Equal(restored[1], []byte("server1-cccc")) {
+		t.Fatalf("restored = %q", restored)
+	}
+}
+
+// TestIncrementalReplacementRewrites pins the incarnation rule: a replaced
+// server (fresh incarnation, even with the same seq) must re-serialize.
+func TestIncrementalReplacementRewrites(t *testing.T) {
+	cp := New(fastPFS())
+	src := &fakeIncSnap{
+		streams: [][]byte{[]byte("gen1")},
+		marks:   []Mark{{Incarnation: 7, Seq: 0}},
+	}
+	cp.Checkpoint(src)
+	src.streams[0] = []byte("gen2")
+	src.marks[0] = Mark{Incarnation: 8, Seq: 0}
+	cp.Checkpoint(src)
+	if src.serialized != 1 {
+		t.Fatal("replacement server's stream was elided")
+	}
+	_, restored, err := cp.Restart()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(restored[0], []byte("gen2")) {
+		t.Fatalf("restored = %q", restored[0])
+	}
+}
+
 func TestRunnerPeriodic(t *testing.T) {
 	cp := New(fastPFS())
 	r := NewRunner(cp, 4*time.Second)

@@ -1,0 +1,51 @@
+package harness
+
+import (
+	"os"
+	"testing"
+)
+
+// TestTieringBenchQuick runs the quick tiering experiment end to end: the
+// 10x-RAM working set must complete with every read served, the tiered
+// arms must actually exercise the lower tiers, and the p99 degradation
+// must stay within the documented bound.
+func TestTieringBenchQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tiering bench does real disk I/O")
+	}
+	rep, err := RunTieringBench(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rep.Rows))
+	}
+	byArm := map[string]TieringBenchRow{}
+	for _, r := range rep.Rows {
+		byArm[r.Arm] = r
+		wantReads := rep.Epochs * rep.KeysPerEpoch
+		if r.Reads != wantReads {
+			t.Fatalf("%s read %d objects, want %d", r.Arm, r.Reads, wantReads)
+		}
+	}
+	mem, tiered, np := byArm["mem"], byArm["tiered"], byArm["tiered-np"]
+	if mem.Spills != 0 || mem.ColdReads != 0 {
+		t.Fatalf("mem arm touched lower tiers: %+v", mem)
+	}
+	if tiered.Spills == 0 || tiered.ColdReads+tiered.PrefetchHits == 0 {
+		t.Fatalf("tiered arm never left L1: %+v", tiered)
+	}
+	if np.PrefetchIssued != 0 {
+		t.Fatalf("no-prefetch arm issued prefetches: %+v", np)
+	}
+	if tiered.PrefetchIssued == 0 {
+		t.Fatalf("tiered arm never prefetched: %+v", tiered)
+	}
+	for _, r := range []TieringBenchRow{tiered, np} {
+		if r.P99DegradationX <= 0 || r.P99DegradationX > MaxP99DegradationX {
+			t.Fatalf("%s p99 degradation %.1fx outside (0, %d]: %+v",
+				r.Arm, r.P99DegradationX, MaxP99DegradationX, r)
+		}
+	}
+	WriteTieringBench(os.Stderr, rep)
+}

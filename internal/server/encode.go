@@ -105,6 +105,8 @@ func (s *Server) encodeObject(ctx context.Context, obj *types.Object, reuse type
 				K:          k, M: m, ShardSize: shardSize,
 				Data:       shards[i],
 				StripeInfo: info,
+				// Version rides along as the holders' time-step tag.
+				Version: obj.Version,
 			}
 			resp, err := s.sendRetry(ctx, members[i], msg)
 			if err == nil {
@@ -134,10 +136,13 @@ func (s *Server) encodeObject(ctx context.Context, obj *types.Object, reuse type
 		s.dropStripeMembers(ctx, info)
 		return nil
 	}
-	s.shards[sk] = shards[0]
 	s.shardSums[sk] = scrub.Checksum(shards[0])
 	s.shardStripe[sk] = *info
+	// The engine install happens under s.mu so it is atomic with the
+	// identity check above (the engine never takes s.mu back).
+	s.store.PutTagged(sk, shards[0], shardEpoch(obj.Version))
 	s.mu.Unlock()
+	s.mutations.Add(1)
 
 	// Commit, stage 2: flip the directory (stripe record first, so the
 	// encoded metadata always resolves).
@@ -257,6 +262,7 @@ func (s *Server) handleEncodeDelegate(ctx context.Context, req *transport.Messag
 			K:          req.K, M: req.M, ShardSize: shardSize,
 			Data:       shards[member.Index],
 			StripeInfo: req.StripeInfo,
+			Version:    req.Version,
 		}
 		if member.Server == s.id {
 			s.handleShardPut(msg)

@@ -96,10 +96,7 @@ func (s *Server) stripeInfoFor(ctx context.Context, id types.StripeID) (*types.S
 // fetchShard reads one stripe shard, locally when possible.
 func (s *Server) fetchShard(ctx context.Context, member types.StripeMember, id types.StripeID) ([]byte, bool) {
 	if member.Server == s.id {
-		s.mu.Lock()
-		b, ok := s.shards[shardKey(id, member.Index)]
-		s.mu.Unlock()
-		return b, ok
+		return s.store.Get(shardKey(id, member.Index))
 	}
 	resp, err := s.sendRetry(ctx, member.Server, &transport.Message{
 		Kind: transport.MsgShardGet, Stripe: id, ShardIndex: member.Index,
@@ -244,10 +241,7 @@ func (s *Server) recoverEncoded(ctx context.Context, meta *types.ObjectMeta) (bo
 		return false, nil
 	}
 	sk := shardKey(meta.Stripe, myIndex)
-	s.mu.Lock()
-	_, haveShard := s.shards[sk]
-	s.mu.Unlock()
-	if haveShard {
+	if s.store.Has(sk) {
 		if meta.Primary == s.id {
 			s.refreshEncodedBookkeeping(meta, info)
 		}
@@ -276,10 +270,11 @@ func (s *Server) recoverEncoded(ctx context.Context, meta *types.ObjectMeta) (bo
 	}
 	s.col.Add(metrics.Decode, time.Since(dStart))
 	s.mu.Lock()
-	s.shards[sk] = shards[myIndex]
 	s.shardSums[sk] = scrub.Checksum(shards[myIndex])
 	s.shardStripe[sk] = *info
+	s.store.PutTagged(sk, shards[myIndex], shardEpoch(meta.Version))
 	s.mu.Unlock()
+	s.mutations.Add(1)
 	if meta.Primary == s.id {
 		s.refreshEncodedBookkeeping(meta, info)
 	}

@@ -161,8 +161,8 @@ func (s *Server) scrubLocal(ctx context.Context, bud *scrub.Budget, rep *scrub.R
 	s.mu.Lock()
 	objKeys := sortedKeys(s.objects)
 	repKeys := sortedKeys(s.replicas)
-	shardKeys := sortedKeys(s.shards)
 	s.mu.Unlock()
+	shardKeys := s.store.Keys()
 
 	for _, key := range objKeys {
 		s.mu.Lock()
@@ -224,10 +224,14 @@ func (s *Server) scrubLocal(ctx context.Context, bud *scrub.Budget, rep *scrub.R
 
 	for _, sk := range shardKeys {
 		s.mu.Lock()
-		data, ok := s.shards[sk]
 		want := s.shardSums[sk]
 		info, haveInfo := s.shardStripe[sk]
 		s.mu.Unlock()
+		// Peek reads without touching heat or tier placement. A shard whose
+		// stored record rotted below L1 is quarantined by the engine's own
+		// CRC check inside this call and reads as absent — the stripe phase
+		// re-materializes it from its peers.
+		data, ok := s.store.Peek(sk)
 		if !ok {
 			continue
 		}
@@ -239,8 +243,10 @@ func (s *Server) scrubLocal(ctx context.Context, bud *scrub.Budget, rep *scrub.R
 		rep.Bytes += int64(len(data))
 		switch {
 		case want == 0:
+			// Backfill also covers shards re-indexed from a restarted disk
+			// tier, whose sums map died with the previous incarnation.
 			s.mu.Lock()
-			if _, still := s.shards[sk]; still && s.shardSums[sk] == 0 {
+			if s.store.Has(sk) && s.shardSums[sk] == 0 {
 				s.shardSums[sk] = got
 				rep.Backfills++
 			}
@@ -447,12 +453,13 @@ func (s *Server) repairShard(ctx context.Context, sk string, info types.StripeIn
 	rebuilt := shards[myIndex]
 	sum := scrub.Checksum(rebuilt)
 	s.mu.Lock()
-	if _, still := s.shards[sk]; still && s.shardSums[sk] == want {
-		s.shards[sk] = rebuilt
+	if s.store.Has(sk) && s.shardSums[sk] == want {
 		s.shardSums[sk] = sum
 		s.shardStripe[sk] = info
+		s.store.Put(sk, rebuilt)
 	}
 	s.mu.Unlock()
+	s.mutations.Add(1)
 	rep.Repairs++
 	return nil
 }
@@ -582,9 +589,7 @@ func (s *Server) scrubStripe(ctx context.Context, info *types.StripeInfo, bud *s
 	reachable := 0
 	for _, m := range info.Members {
 		if m.Server == s.id {
-			s.mu.Lock()
-			_, have := s.shards[shardKey(info.ID, m.Index)]
-			s.mu.Unlock()
+			have := s.store.Has(shardKey(info.ID, m.Index))
 			reachable++
 			if !have {
 				missing = append(missing, m.Index)
@@ -784,10 +789,10 @@ func (s *Server) handleChecksum(req *transport.Message) *transport.Message {
 }
 
 // handleShardSum reports the live checksum of one locally held stripe shard.
+// The engine read revalidates cold records against their stored CRCs on the
+// way, so a rotted below-L1 shard reads as absent here too.
 func (s *Server) handleShardSum(req *transport.Message) *transport.Message {
-	s.mu.Lock()
-	data, ok := s.shards[shardKey(req.Stripe, req.ShardIndex)]
-	s.mu.Unlock()
+	data, ok := s.store.Peek(shardKey(req.Stripe, req.ShardIndex))
 	if !ok {
 		return &transport.Message{Kind: transport.MsgOK, Flag: false}
 	}
@@ -848,8 +853,11 @@ func (s *Server) InjectBitRot(rng *rand.Rand, target RotTarget, count int) []Rot
 		}
 	}
 	if target == RotAny || target == RotShards {
-		for k, b := range s.shards {
-			if len(b) > 0 {
+		// Shards may live in any tier; Peek fetches the stored bytes without
+		// disturbing placement, and Overwrite below rots them wherever they
+		// are (mem slice, disk record payload, or remote object).
+		for _, k := range s.store.Keys() {
+			if b, ok := s.store.Peek(k); ok && len(b) > 0 {
 				cands = append(cands, cand{"shard", k, b})
 			}
 		}
@@ -879,10 +887,13 @@ func (s *Server) InjectBitRot(rng *rand.Rand, target RotTarget, count int) []Rot
 				s.replicas[c.key] = &types.Object{ID: o.ID, Version: o.Version, Data: clone}
 			}
 		case "shard":
-			s.shards[c.key] = clone
+			if !s.store.Overwrite(c.key, clone) {
+				continue // entry busy or moved; rot somewhere else instead
+			}
 		}
 		events = append(events, RotEvent{Category: c.cat, Key: c.key, Offset: off, Bit: bit})
 	}
+	s.mutations.Add(uint64(len(events)))
 	return events
 }
 

@@ -158,8 +158,12 @@ func TestScrubRepairsRottedShard(t *testing.T) {
 	}
 	// The repaired shard matches its recorded checksum again.
 	sk := events[0].Key
+	b, ok := victim.store.Peek(sk)
+	if !ok {
+		t.Fatalf("repaired shard %s missing from store", sk)
+	}
+	got := scrub.Checksum(b)
 	victim.mu.Lock()
-	got := scrub.Checksum(victim.shards[sk])
 	want := victim.shardSums[sk]
 	victim.mu.Unlock()
 	if got != want {

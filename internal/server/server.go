@@ -23,6 +23,7 @@ import (
 	"corec/internal/policy"
 	"corec/internal/recovery"
 	"corec/internal/scrub"
+	"corec/internal/storage"
 	"corec/internal/topology"
 	"corec/internal/transport"
 	"corec/internal/types"
@@ -64,6 +65,16 @@ type Config struct {
 	// used by degraded reads and recovery. 0 (default) resolves to
 	// erasure.DefaultDecodeCacheEntries; negative disables the cache.
 	DecodeCacheEntries int
+	// Storage tunes the tiered engine holding erasure shards (write-cold
+	// data). Nil or a zero value keeps the pre-tiering behaviour: an
+	// unbounded in-memory store.
+	Storage *storage.Config
+	// RemoteStore is the cluster-shared L3 object store (nil disables the
+	// remote tier). It outlives any one server, like a real object store.
+	RemoteStore *storage.RemoteStore
+	// StorageNS prefixes this server's keys in the shared remote store so
+	// servers never collide (the cluster uses "s<id>/").
+	StorageNS string
 }
 
 // Server is one staging server. All exported methods are safe for
@@ -99,13 +110,21 @@ type Server struct {
 	// its copy. Striped by key hash; collisions only over-serialize.
 	writeLocks [64]sync.Mutex
 
+	// store holds erasure shard payloads keyed by shardKey(stripe, index),
+	// tiered mem/disk/remote. It has its own lock and never calls back into
+	// the server, so engine calls are safe both under s.mu and outside it.
+	store *storage.Tiered
+
+	// mutations counts payload-mutating operations (puts, deletes, shard
+	// and replica installs/drops, repairs). Checkpointing snapshots only
+	// servers whose count moved since the last checkpoint.
+	mutations atomic.Uint64
+
 	mu sync.Mutex
 	// objects holds full primary copies keyed by object key.
 	objects map[string]*types.Object
 	// replicas holds replica copies pushed by other primaries.
 	replicas map[string]*types.Object
-	// shards holds erasure shard payloads keyed by shardKey(stripe, index).
-	shards map[string][]byte
 	// shardStripe caches stripe geometry for locally held shards.
 	shardStripe map[string]types.StripeInfo
 	// replicaSums/shardSums record the content checksum each replica copy
@@ -218,6 +237,14 @@ func New(cfg Config) (*Server, error) {
 				cfg.Groups.CodingSize, cfg.Policy.K+cfg.Policy.M)
 		}
 	}
+	var storeCfg storage.Config
+	if cfg.Storage != nil {
+		storeCfg = *cfg.Storage
+	}
+	store, err := storage.Open(storeCfg, cfg.RemoteStore, cfg.StorageNS)
+	if err != nil {
+		return nil, fmt.Errorf("server: open storage engine: %w", err)
+	}
 	s := &Server{
 		cfg:         cfg,
 		id:          cfg.ID,
@@ -229,9 +256,9 @@ func New(cfg Config) (*Server, error) {
 		codec:       codec,
 		decider:     dec,
 		col:         cfg.Collector,
+		store:       store,
 		objects:     make(map[string]*types.Object),
 		replicas:    make(map[string]*types.Object),
-		shards:      make(map[string][]byte),
 		shardStripe: make(map[string]types.StripeInfo),
 		replicaSums: make(map[string]uint64),
 		shardSums:   make(map[string]uint64),
@@ -417,6 +444,9 @@ func (s *Server) Close() {
 		close(s.encStop)
 	}
 	s.net.Unregister(s.id)
+	// Closing the engine discards L1 (exactly what a crash does) and leaves
+	// the disk tier for a replacement server to revalidate and re-index.
+	_ = s.store.Close() // Close never fails; signature satisfies Engine users
 }
 
 // Handle is the transport handler: it dispatches by message kind.
@@ -544,13 +574,38 @@ func (s *Server) HasReplica(key string) bool {
 	return ok
 }
 
-// HasShard reports whether the server holds the given stripe shard.
+// HasShard reports whether the server holds the given stripe shard in any
+// storage tier.
 func (s *Server) HasShard(id types.StripeID, index int) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	_, ok := s.shards[shardKey(id, index)]
-	return ok
+	return s.store.Has(shardKey(id, index))
 }
+
+// StorageStats snapshots the tiered storage engine's gauges and counters.
+func (s *Server) StorageStats() storage.Stats {
+	return s.store.Stats()
+}
+
+// StorageRestore reports what the engine's open-time disk scan found —
+// non-zero only for a server restarted over an existing segment directory.
+func (s *Server) StorageRestore() storage.RestoreReport {
+	return s.store.RestoreReport()
+}
+
+// WaitStorageIdle blocks until the engine's background spill/upload/
+// prefetch/compaction work drains. Tests and benches use it to make tier
+// placement deterministic at observation points.
+func (s *Server) WaitStorageIdle() {
+	s.store.WaitIdle()
+}
+
+// MutationSeq returns the count of payload-mutating operations applied to
+// this server — the incremental checkpointer's dirty test.
+func (s *Server) MutationSeq() uint64 { return s.mutations.Load() }
+
+// Incarnation distinguishes this server instance from a predecessor or
+// replacement reusing its logical ID, so cached per-server checkpoint
+// state never survives a Replace.
+func (s *Server) Incarnation() uint64 { return s.incarnation }
 
 // SerializeStore flattens every locally held payload (full objects,
 // replicas, shards) into one byte stream — the data a coordinated
@@ -558,16 +613,12 @@ func (s *Server) HasShard(id types.StripeID, index int) bool {
 // concatenation; the checkpoint baseline only needs realistic volume.
 func (s *Server) SerializeStore() []byte {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	var total int
 	for _, o := range s.objects {
 		total += len(o.Data)
 	}
 	for _, o := range s.replicas {
 		total += len(o.Data)
-	}
-	for _, b := range s.shards {
-		total += len(b)
 	}
 	// Key order, not map order: a checkpoint stream must be byte-identical
 	// for identical store contents.
@@ -578,8 +629,14 @@ func (s *Server) SerializeStore() []byte {
 	for _, k := range sortedKeys(s.replicas) {
 		out = append(out, s.replicas[k].Data...)
 	}
-	for _, k := range sortedKeys(s.shards) {
-		out = append(out, s.shards[k]...)
+	s.mu.Unlock()
+	// Shards come from the engine (sorted keys; Peek leaves tier placement
+	// untouched). A shard the remote model transiently faults is skipped —
+	// the checkpoint baseline needs realistic volume, not a retry storm.
+	for _, k := range s.store.Keys() {
+		if b, ok := s.store.Peek(k); ok {
+			out = append(out, b...)
+		}
 	}
 	return out
 }
@@ -588,15 +645,17 @@ func (s *Server) SerializeStore() []byte {
 // replica copies, and erasure shards (data+parity).
 func (s *Server) StorageUsage() (objects, replicas, shards int64) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	for _, o := range s.objects {
 		objects += int64(len(o.Data))
 	}
 	for _, o := range s.replicas {
 		replicas += int64(len(o.Data))
 	}
-	for _, b := range s.shards {
-		shards += int64(len(b))
+	s.mu.Unlock()
+	for _, k := range s.store.Keys() {
+		if n, ok := s.store.Size(k); ok {
+			shards += n
+		}
 	}
 	return
 }

@@ -3,6 +3,7 @@ package server
 import (
 	"encoding/json"
 
+	"corec/internal/storage"
 	"corec/internal/transport"
 	"corec/internal/types"
 )
@@ -42,6 +43,9 @@ type Stats struct {
 	// reads and recovery; both zero when the cache is disabled.
 	DecodeCacheHits   int64 `json:"decode_cache_hits,omitempty"`
 	DecodeCacheMisses int64 `json:"decode_cache_misses,omitempty"`
+	// Storage is the tiered storage engine's snapshot (shard placement
+	// across mem/disk/remote, spill/upload/prefetch counters).
+	Storage storage.Stats `json:"storage"`
 }
 
 // CollectStats builds the status report.
@@ -51,7 +55,6 @@ func (s *Server) CollectStats() Stats {
 		ID:         int(s.id),
 		Objects:    len(s.objects),
 		Replicas:   len(s.replicas),
-		Shards:     len(s.shards),
 		DirEntries: len(s.dir),
 		Efficiency: s.efficiencyLocked(),
 	}
@@ -60,9 +63,6 @@ func (s *Server) CollectStats() Stats {
 	}
 	for _, o := range s.replicas {
 		st.ReplicaBytes += int64(len(o.Data))
-	}
-	for _, b := range s.shards {
-		st.ShardBytes += int64(len(b))
 	}
 	for _, l := range s.local {
 		switch l.state {
@@ -76,6 +76,13 @@ func (s *Server) CollectStats() Stats {
 		st.PendingRepairs = s.repairQueue.Len()
 	}
 	s.mu.Unlock()
+	st.Shards = s.store.Len()
+	for _, k := range s.store.Keys() {
+		if n, ok := s.store.Size(k); ok {
+			st.ShardBytes += n
+		}
+	}
+	st.Storage = s.store.Stats()
 	st.Load = s.Load()
 	st.ScrubPasses = s.ScrubPasses()
 	s.encMu.Lock()

@@ -50,6 +50,7 @@ func (s *Server) handlePut(ctx context.Context, req *transport.Message) *transpo
 	}
 
 	// Install the object and capture prior state for transition handling.
+	s.mutations.Add(1)
 	s.mu.Lock()
 	prior, existed := s.local[key]
 	var priorState types.ResilienceState
@@ -269,6 +270,7 @@ func (s *Server) handleDelete(ctx context.Context, req *transport.Message) *tran
 	if !known {
 		return &transport.Message{Kind: transport.MsgOK, Flag: false}
 	}
+	s.mutations.Add(1)
 	if hadPending {
 		s.dropStripe(ctx, pendingDrop, 0)
 	}
@@ -389,6 +391,7 @@ func (s *Server) handleReplicaPut(req *transport.Message) *transport.Message {
 	s.replicas[key] = &types.Object{ID: id, Version: req.Version, Data: req.Data}
 	s.replicaSums[key] = sum
 	s.mu.Unlock()
+	s.mutations.Add(1)
 	return transport.Ok()
 }
 
@@ -396,11 +399,16 @@ func (s *Server) handleReplicaDrop(req *transport.Message) *transport.Message {
 	s.mu.Lock()
 	// A versioned drop only removes replicas at or below that version, so
 	// a slow encode task can never discard a newer write's replica.
+	dropped := false
 	if rep, ok := s.replicas[req.Key]; ok && (req.Version == 0 || rep.Version <= req.Version) {
 		delete(s.replicas, req.Key)
 		delete(s.replicaSums, req.Key)
+		dropped = true
 	}
 	s.mu.Unlock()
+	if dropped {
+		s.mutations.Add(1)
+	}
 	return transport.Ok()
 }
 
@@ -408,7 +416,6 @@ func (s *Server) handleShardPut(req *transport.Message) *transport.Message {
 	sk := shardKey(req.Stripe, req.ShardIndex)
 	sum := scrub.Checksum(req.Data)
 	s.mu.Lock()
-	s.shards[sk] = req.Data
 	s.shardSums[sk] = sum
 	if req.StripeInfo != nil {
 		s.shardStripe[sk] = *req.StripeInfo
@@ -419,13 +426,23 @@ func (s *Server) handleShardPut(req *transport.Message) *transport.Message {
 		delete(s.objects, req.Key)
 	}
 	s.mu.Unlock()
+	// The version doubles as the shard's time-step tag, feeding the
+	// engine's sequential-step prefetch detection; 0 means untagged.
+	s.store.PutTagged(sk, req.Data, shardEpoch(req.Version))
+	s.mutations.Add(1)
 	return transport.Ok()
 }
 
+// shardEpoch maps an object version to the storage engine's time-step tag.
+func shardEpoch(v types.Version) int64 {
+	if v == 0 {
+		return -1
+	}
+	return int64(v)
+}
+
 func (s *Server) handleShardGet(req *transport.Message) *transport.Message {
-	s.mu.Lock()
-	data, ok := s.shards[shardKey(req.Stripe, req.ShardIndex)]
-	s.mu.Unlock()
+	data, ok := s.store.Get(shardKey(req.Stripe, req.ShardIndex))
 	if !ok {
 		return &transport.Message{Kind: transport.MsgOK, Flag: false}
 	}
@@ -435,10 +452,11 @@ func (s *Server) handleShardGet(req *transport.Message) *transport.Message {
 func (s *Server) handleShardDrop(req *transport.Message) *transport.Message {
 	sk := shardKey(req.Stripe, req.ShardIndex)
 	s.mu.Lock()
-	delete(s.shards, sk)
 	delete(s.shardStripe, sk)
 	delete(s.shardSums, sk)
 	s.mu.Unlock()
+	s.store.Delete(sk)
+	s.mutations.Add(1)
 	return transport.Ok()
 }
 

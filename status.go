@@ -10,6 +10,7 @@ import (
 	"corec/internal/membership"
 	"corec/internal/metrics"
 	"corec/internal/server"
+	"corec/internal/storage"
 	"corec/internal/transport"
 	"corec/internal/types"
 )
@@ -76,6 +77,56 @@ type FabricStatus struct {
 	// Membership reports the elastic-membership plane's view; zero (with
 	// Enabled false) for static fleets.
 	Membership MembershipStatus
+	// Storage reports the tiered storage engines' aggregated view; zero
+	// (with Enabled false) when the cluster stages purely in memory.
+	Storage StorageStatus
+}
+
+// StorageStatus aggregates the per-server tiered storage engines plus the
+// cluster-shared remote store: tier occupancy gauges, spill/upload/eviction
+// counters, prefetch effectiveness, and crash-restart scan tallies.
+type StorageStatus struct {
+	// Enabled reports whether the cluster runs the tiered storage engine.
+	Enabled bool
+	// MemObjects/DiskObjects/RemoteObjects count entries by resident tier,
+	// summed over live servers; the *Bytes gauges are the matching volumes
+	// (DiskBytes counts live record bytes, not segment file sizes).
+	MemObjects    int
+	DiskObjects   int
+	RemoteObjects int
+	MemBytes      int64
+	DiskBytes     int64
+	RemoteBytes   int64
+	// Spills counts L1→L2 demotions that wrote a record; Evictions all L1
+	// demotions including clean no-I/O flips; Uploads L2→L3 promotions.
+	Spills    int64
+	Evictions int64
+	Uploads   int64
+	// ColdReads counts foreground gets served below L1, split into
+	// DiskReads and RemoteReads by the tier that produced the bytes.
+	ColdReads   int64
+	DiskReads   int64
+	RemoteReads int64
+	// PrefetchIssued/PrefetchHits measure the next-step pipeline;
+	// PrefetchHitRate is hits over cold+prefetch-hit reads.
+	PrefetchIssued  int64
+	PrefetchHits    int64
+	PrefetchHitRate float64
+	// BackpressureStalls counts writer stalls on full spill queues.
+	BackpressureStalls int64
+	// Compactions counts segment rewrites reclaiming dead bytes.
+	Compactions int64
+	// DiskErrors and RemoteFaults count I/O failures per lower tier.
+	DiskErrors   int64
+	RemoteFaults int64
+	// RestoredRecords/QuarantinedRecords/TruncatedTails sum the open-time
+	// disk-scan results (plus read-time quarantines) across restarts.
+	RestoredRecords    int64
+	QuarantinedRecords int64
+	TruncatedTails     int64
+	// Remote is the shared L3 store's own view (object count, transfer
+	// tallies, injected faults); zero without a remote tier.
+	Remote storage.RemoteStats
 }
 
 // MembershipStatus aggregates the gossip failure detector and live
@@ -225,6 +276,48 @@ func (c *Cluster) FabricStatus() FabricStatus {
 		}
 	}
 	c.mu.Unlock()
+	if c.cfg.Storage != nil {
+		ss := &st.Storage
+		ss.Enabled = true
+		c.mu.Lock()
+		servers := make([]*server.Server, 0, len(c.servers))
+		for _, s := range c.servers {
+			servers = append(servers, s)
+		}
+		c.mu.Unlock()
+		for _, s := range servers {
+			es := s.StorageStats()
+			ss.MemObjects += es.MemObjects
+			ss.DiskObjects += es.DiskObjects
+			ss.RemoteObjects += es.RemoteObjects
+			ss.MemBytes += es.MemBytes
+			ss.DiskBytes += es.DiskLiveBytes
+			ss.RemoteBytes += es.RemoteBytes
+			ss.Spills += es.Spills
+			ss.Evictions += es.Evictions
+			ss.Uploads += es.Uploads
+			ss.ColdReads += es.ColdReads
+			ss.DiskReads += es.DiskReads
+			ss.RemoteReads += es.RemoteReads
+			ss.PrefetchIssued += es.PrefetchIssued
+			ss.PrefetchHits += es.PrefetchHits
+			ss.BackpressureStalls += es.BackpressureStalls
+			ss.Compactions += es.Compactions
+			ss.DiskErrors += es.DiskErrors
+			ss.RemoteFaults += es.RemoteFaults
+			ss.RestoredRecords += es.RestoredRecords
+			ss.QuarantinedRecords += es.QuarantinedRecords
+			ss.TruncatedTails += es.TruncatedTails
+		}
+		// Hit rate over the reads prefetching could have served: the cold
+		// reads that missed plus the staged reads that hit.
+		if total := ss.ColdReads + ss.PrefetchHits; total > 0 {
+			ss.PrefetchHitRate = float64(ss.PrefetchHits) / float64(total)
+		}
+		if c.remote != nil {
+			ss.Remote = c.remote.Stats()
+		}
+	}
 	if e := c.elastic; e != nil {
 		ms := &st.Membership
 		ms.Enabled = true

@@ -55,6 +55,17 @@ storagerace:
 	$(GO) test -race ./internal/storage
 	$(GO) test -race -run 'TestTiered' .
 
+# Multi-process cluster harness, CI-budgeted: real corec-server OS
+# processes over TCP, the open-loop quick scenario matrix (fault-free +
+# kill-restart arms, SLO invariants enforced by TestClusterBenchQuick under
+# the race detector), plus the process-level kill/restart and operator-CLI
+# suites. The SLO table is written to cluster-quick.json FIRST so a failing
+# gate still leaves the artifact for upload and post-mortem.
+clusterquick:
+	$(GO) run ./cmd/corec-bench -experiment cluster -quick -json cluster-quick.json
+	$(GO) test -timeout 8m ./internal/cluster
+	$(GO) test -timeout 12m -race -run TestClusterBenchQuick ./internal/harness
+
 # bench smoke-runs every Go benchmark once, then regenerates the erasure
 # engine's regression artifact (encode workers=1 vs N, cold vs cached decode
 # matrices at 4+2 and 8+3). BENCH_erasure.json is committed so perf
@@ -65,8 +76,9 @@ bench:
 	$(GO) run ./cmd/corec-bench -experiment transport -json BENCH_transport.json
 	$(GO) run ./cmd/corec-bench -experiment membership -json BENCH_membership.json
 	$(GO) run ./cmd/corec-bench -experiment tiering -json BENCH_tiering.json
+	$(GO) run ./cmd/corec-bench -experiment cluster -json BENCH_cluster.json
 
-ci: vet staticcheck lint build race scrubrace churnrace storagerace test
+ci: vet staticcheck lint build race scrubrace churnrace storagerace test clusterquick
 
 clean:
 	$(GO) clean ./...

@@ -342,7 +342,7 @@ func (cl *Client) queryDirectory(ctx context.Context, name string, box Box) ([]t
 		reachable++
 		for _, m := range r.metas {
 			key := m.ID.Key()
-			if cur, ok := best[key]; !ok || m.Version > cur.Version {
+			if cur, ok := best[key]; !ok || metaNewer(&m, &cur) {
 				best[key] = m
 			}
 		}
@@ -399,17 +399,32 @@ func (cl *Client) fetchObject(ctx context.Context, meta *types.ObjectMeta) ([]by
 }
 
 // lookupMeta fetches a single object's metadata record from its shard
-// group.
+// group. Every reachable mirror is consulted and the newest record wins:
+// under concurrent state flips a mirror can lag by one transition, and a
+// lagging record may point at a stripe the newer flip already dropped, so
+// first-answer-wins would turn a replica lag into a phantom data loss.
 func (cl *Client) lookupMeta(ctx context.Context, key string) (*types.ObjectMeta, bool) {
 	start := time.Now()
 	defer func() { cl.col.Add(metrics.Metadata, time.Since(start)) }()
+	var best *types.ObjectMeta
 	for _, t := range cl.dirGroupFor(key) {
 		resp, err := cl.send(ctx, t, &transport.Message{Kind: transport.MsgMetaLookup, Key: key})
 		if err == nil && resp.Kind == transport.MsgOK && resp.Flag {
-			return resp.Meta, true
+			if best == nil || metaNewer(resp.Meta, best) {
+				best = resp.Meta
+			}
 		}
 	}
-	return nil, false
+	return best, best != nil
+}
+
+// metaNewer reports whether a supersedes b: higher version, or a later
+// same-version state flip (ObjectMeta.Seq orders those).
+func metaNewer(a, b *types.ObjectMeta) bool {
+	if a.Version != b.Version {
+		return a.Version > b.Version
+	}
+	return a.Seq > b.Seq
 }
 
 func (cl *Client) fetchReplicated(ctx context.Context, meta *types.ObjectMeta) ([]byte, error) {

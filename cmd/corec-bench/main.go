@@ -8,7 +8,13 @@
 //
 //	corec-bench -experiment fig2|fig4|fig8|fig9|fig10|fig11|fig12|table1|
 //	            table2|read-penalty|model-validation|erasure|transport|
-//	            membership|tiering|all [-quick] [-csv dir] [-json file]
+//	            membership|tiering|cluster|all [-quick] [-csv dir] [-json file]
+//
+// The cluster experiment is the only one that leaves this process: it
+// spawns a fleet of real corec-server processes, offers open-loop load
+// with coordinated-omission-safe latency recording, SIGKILLs and restarts
+// a process mid-run, and writes per-scenario SLO rows to
+// BENCH_cluster.json (see internal/cluster).
 //
 // The erasure experiment measures the parallel erasure-coding engine
 // (encode workers=1 vs N, cold vs cached decode matrices) and, with -json,
@@ -34,7 +40,7 @@ import (
 )
 
 func main() {
-	experiment := flag.String("experiment", "all", "which experiment to run: fig2, fig4, fig8, fig9, fig10, fig11, fig12, table1, table2, read-penalty, model-validation, erasure, transport, membership, tiering, or all")
+	experiment := flag.String("experiment", "all", "which experiment to run: fig2, fig4, fig8, fig9, fig10, fig11, fig12, table1, table2, read-penalty, model-validation, erasure, transport, membership, tiering, cluster, or all")
 	quick := flag.Bool("quick", false, "trim sweeps for a fast smoke run")
 	csvDir := flag.String("csv", "", "also write CSV files into this directory")
 	jsonPath := flag.String("json", "", "write the erasure experiment's report to this JSON file")
@@ -211,6 +217,15 @@ func run(experiment string, quick bool, csvDir string) error {
 		if err := writeBenchJSON(rep); err != nil {
 			return err
 		}
+	case "cluster":
+		rep, err := harness.RunClusterBench(quick)
+		if err != nil {
+			return err
+		}
+		harness.WriteClusterBench(out, rep)
+		if err := writeBenchJSON(rep); err != nil {
+			return err
+		}
 	case "read-penalty":
 		trials := 5
 		if quick {
@@ -234,7 +249,7 @@ func run(experiment string, quick bool, csvDir string) error {
 		saved := benchJSONPath
 		benchJSONPath = ""
 		defer func() { benchJSONPath = saved }()
-		for _, e := range []string{"table1", "fig2", "fig4", "fig8", "fig9", "fig10", "fig11", "fig12", "read-penalty", "model-validation", "erasure", "transport", "membership", "tiering"} {
+		for _, e := range []string{"table1", "fig2", "fig4", "fig8", "fig9", "fig10", "fig11", "fig12", "read-penalty", "model-validation", "erasure", "transport", "membership", "tiering", "cluster"} {
 			fmt.Fprintf(out, "==== %s ====\n", e)
 			if err := run(e, quick, csvDir); err != nil {
 				return fmt.Errorf("%s: %w", e, err)

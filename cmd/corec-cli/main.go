@@ -85,7 +85,7 @@ func main() {
 	payload := sub.String("data", "", "payload for put")
 	length := sub.Int64("len", 0, "length for get")
 	version := sub.Int64("version", 1, "data version (time step)")
-	drainID := sub.Int("server", -1, "server to drain")
+	drainID := sub.Int("server", -1, "target server (drain, recover)")
 	_ = sub.Parse(args[1:]) // ExitOnError: Parse never returns an error
 
 	switch args[0] {
@@ -141,6 +141,21 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println("join accepted; the host is admitting a fresh server")
+	case "endstep":
+		d, p, err := client.EndTimeStepAll(ctx, corec.Version(*version))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("step %d closed: %d demotions, %d promotions\n", *version, d, p)
+	case "recover":
+		if *drainID < 0 {
+			fatal(fmt.Errorf("recover requires -server <id>"))
+		}
+		n, err := client.RecoverServer(ctx, corec.ServerID(*drainID), corec.RecoveryAggressive)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("server %d recovered: %d objects repaired\n", *drainID, n)
 	case "status":
 		for _, s := range client.Status(ctx) {
 			if !s.Alive {
@@ -174,7 +189,7 @@ func parseMode(s string) (corec.Mode, error) {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: corec-cli [-addr-file f] put|get|query|status|members|join|drain [sub-flags]")
+	fmt.Fprintln(os.Stderr, "usage: corec-cli [-addr-file f] put|get|query|status|members|join|drain|endstep|recover [sub-flags]")
 	os.Exit(2)
 }
 

@@ -8,9 +8,18 @@
 //	corec-server [-servers 8] [-mode corec] [-addr-file corec-addrs.json]
 //	             [-host 127.0.0.1] [-nlevel 1] [-k 3] [-s 0.67]
 //	             [-mux-conns 0] [-max-inflight 0] [-membership]
+//	             [-port-base 0] [-local ""] [-scrub]
 //	             [-storage-dir DIR] [-storage-mem-mb N] [-storage-disk-mb N]
 //	             [-storage-remote] [-storage-remote-mbps 256]
 //	             [-storage-prefetch]
+//
+// With -local and -port-base the process hosts only the listed server IDs
+// of a larger fleet; every other ID is assumed to live in a sibling
+// corec-server process at host:port-base+id. This is how the cluster
+// harness (internal/cluster, corec-loadgen) runs one logical staging
+// service as N OS processes: each process gets the same -servers and
+// -port-base and a disjoint -local list, and no address coordination is
+// needed because ports are deterministic.
 //
 // The -storage-* flags enable the tiered storage engine: erasure shards
 // spill from memory (L1, -storage-mem-mb) to per-server append-only disk
@@ -34,6 +43,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 
 	"flag"
@@ -53,6 +64,9 @@ func main() {
 	muxConns := flag.Int("mux-conns", 0, "multiplexed connections per peer (0 = one request per connection); clients must match")
 	maxInFlight := flag.Int("max-inflight", 0, "pipelining window per multiplexed connection (0 = default)")
 	elastic := flag.Bool("membership", false, "run elastic membership: SWIM gossip failure detection, dynamic ring, corec-cli join/drain control")
+	portBase := flag.Int("port-base", 0, "pin server i's listener to port port-base+i (0 = ephemeral ports)")
+	localList := flag.String("local", "", "comma-separated server IDs this process hosts (requires -port-base; empty = all)")
+	scrubOn := flag.Bool("scrub", false, "run the background anti-entropy scrubber on every hosted server")
 	storageDir := flag.String("storage-dir", "", "enable the tiered storage engine: per-server disk segments live under this directory")
 	storageMemMB := flag.Int64("storage-mem-mb", 0, "L1 memory budget per server in MiB (0 = unbounded; requires -storage-dir to spill)")
 	storageDiskMB := flag.Int64("storage-disk-mb", 0, "L2 disk budget per server in MiB before uploads to the remote tier (0 = unbounded)")
@@ -76,6 +90,18 @@ func main() {
 	cfg.MaxInFlight = *maxInFlight
 	if *elastic {
 		cfg.Membership = &corec.MembershipConfig{}
+	}
+	cfg.PortBase = *portBase
+	if *localList != "" {
+		ids, err := parseServerIDs(*localList)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.LocalServers = ids
+	}
+	if *scrubOn {
+		sc := corec.DefaultScrubConfig()
+		cfg.Scrub = &sc
 	}
 	if *storageDir != "" || *storageMemMB > 0 {
 		sc := corec.StorageConfig{
@@ -113,8 +139,12 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("corec-server: %d servers up (%s policy); address map in %s\n",
-		*servers, mode, *addrFile)
+	hosted := *servers
+	if cfg.LocalServers != nil {
+		hosted = len(cfg.LocalServers)
+	}
+	fmt.Printf("corec-server: %d of %d servers up (%s policy); address map in %s\n",
+		hosted, *servers, mode, *addrFile)
 	for id, addr := range addrs {
 		fmt.Printf("  server %d -> %s\n", id, addr)
 	}
@@ -155,6 +185,26 @@ func memberEventName(k corec.MembershipEventKind) string {
 	default:
 		return "changed"
 	}
+}
+
+// parseServerIDs parses a comma-separated ID list ("0,3,5").
+func parseServerIDs(s string) ([]corec.ServerID, error) {
+	var out []corec.ServerID
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad server id %q in -local", part)
+		}
+		out = append(out, corec.ServerID(id))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-local lists no server ids")
+	}
+	return out, nil
 }
 
 func fatal(err error) {

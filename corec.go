@@ -162,6 +162,19 @@ type Config struct {
 	Transport string
 	// ListenHost is the bind host for TCP transports. Default "127.0.0.1".
 	ListenHost string
+	// PortBase, when > 0, pins server i's TCP listener to port PortBase+i
+	// instead of an ephemeral port. Deterministic ports let the processes of
+	// a multi-process fleet compute every peer's address locally, with no
+	// coordination round. Only meaningful with Transport "tcp".
+	PortBase int
+	// LocalServers, when non-nil, restricts which of the fleet's Servers
+	// this process hosts: only the listed IDs start locally, every other ID
+	// is assumed to live in a sibling process at ListenHost:PortBase+id.
+	// This is how one logical staging service spans OS processes — each
+	// process runs NewCluster with the same Config and a disjoint
+	// LocalServers slice. Requires Transport "tcp" and PortBase > 0. Nil
+	// (the default) hosts the whole fleet in-process.
+	LocalServers []ServerID
 	// MuxConnsPerPeer enables request multiplexing on the TCP fabric: that
 	// many shared connections per peer carry pipelined requests correlated
 	// by frame request IDs, with pooled zero-copy frame buffers. 0 (default)
@@ -371,9 +384,20 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		}
 		tn := transport.NewTCPNetwork(host)
 		tn.ConfigureMux(cfg.MuxConnsPerPeer, cfg.MaxInFlight)
+		tn.SetPortBase(cfg.PortBase)
 		net = tn
 	default:
 		return nil, fmt.Errorf("corec: unknown transport %q", cfg.Transport)
+	}
+	if cfg.LocalServers != nil {
+		if cfg.Transport != "tcp" || cfg.PortBase <= 0 {
+			return nil, fmt.Errorf("corec: LocalServers requires Transport \"tcp\" and PortBase > 0")
+		}
+		for _, id := range cfg.LocalServers {
+			if id < 0 || int(id) >= cfg.Servers {
+				return nil, fmt.Errorf("corec: local server %d outside fleet [0,%d)", id, cfg.Servers)
+			}
+		}
 	}
 	var faults *transport.FaultyNetwork
 	if cfg.FaultPlan != nil {
@@ -434,9 +458,34 @@ func NewCluster(cfg Config) (*Cluster, error) {
 		}
 		c.place = placement.NewRing(c.elastic.ring)
 	}
+	local := make(map[types.ServerID]bool, cfg.Servers)
+	if cfg.LocalServers == nil {
+		for i := 0; i < cfg.Servers; i++ {
+			local[types.ServerID(i)] = true
+		}
+	} else {
+		for _, id := range cfg.LocalServers {
+			local[types.ServerID(id)] = true
+		}
+		// Record every sibling process's server at its deterministic address
+		// before any local server starts, so gossip bootstrap views and the
+		// first placed writes can reach the whole fleet immediately.
+		tn := c.tcpNet()
+		host := cfg.ListenHost
+		if host == "" {
+			host = "127.0.0.1"
+		}
+		for i := 0; i < cfg.Servers; i++ {
+			if id := types.ServerID(i); !local[id] {
+				tn.AddRemote(id, fmt.Sprintf("%s:%d", host, cfg.PortBase+i))
+			}
+		}
+	}
 	for i := 0; i < cfg.Servers; i++ {
-		if _, err := c.startServer(types.ServerID(i)); err != nil {
-			return nil, err
+		if id := types.ServerID(i); local[id] {
+			if _, err := c.startServer(id); err != nil {
+				return nil, err
+			}
 		}
 	}
 	// On a TCP fabric the early servers' gossip agents were bootstrapped

@@ -568,11 +568,17 @@ func TestQuiesceExposedViaEndTimeStep(t *testing.T) {
 		}
 	}
 	c.EndTimeStep(1)
+	// Quiescence check: sample the report through an observation window and
+	// fail the moment any background work moves bytes after EndTimeStep has
+	// returned (sampling beats one sleep+compare: a drift that settles back
+	// before a single end-of-window sample would go unseen).
 	before := c.StorageReport()
-	time.Sleep(50 * time.Millisecond)
-	after := c.StorageReport()
-	if before.ShardBytes != after.ShardBytes || before.ReplicaBytes != after.ReplicaBytes {
-		t.Fatalf("storage drifted after EndTimeStep returned: %+v vs %+v", before, after)
+	for deadline := time.Now().Add(50 * time.Millisecond); time.Now().Before(deadline); {
+		after := c.StorageReport()
+		if before.ShardBytes != after.ShardBytes || before.ReplicaBytes != after.ReplicaBytes {
+			t.Fatalf("storage drifted after EndTimeStep returned: %+v vs %+v", before, after)
+		}
+		time.Sleep(5 * time.Millisecond)
 	}
 }
 

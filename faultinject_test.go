@@ -353,17 +353,10 @@ func TestMonitorReconcilesReroutes(t *testing.T) {
 	defer m.Stop()
 	waitForEvent(t, m, EventRecoveryFinished, primary, 5*time.Second)
 
-	deadline := time.Now().Add(2 * time.Second)
-	for {
+	waitUntil(t, 2*time.Second, "reroute to reconcile after recovery", func() bool {
 		fs := c.FabricStatus()
-		if fs.PendingReroutes == 0 && fs.Reconciles >= 1 {
-			break
-		}
-		if time.Now().After(deadline) {
-			t.Fatalf("reroute not reconciled after recovery: %+v", fs)
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
+		return fs.PendingReroutes == 0 && fs.Reconciles >= 1
+	})
 	got, err := client.Get(ctx, "rec", box, 1)
 	if err != nil || !bytes.Equal(got, data) {
 		t.Fatalf("data lost across failover+reconcile: %v", err)

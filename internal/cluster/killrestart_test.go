@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"corec"
+)
+
+// TestProcessKillRestartDiskRevalidation is the end-to-end crash test the
+// in-process suites cannot express: a corec-server process dies by SIGKILL
+// with its entire address space, and a genuinely fresh process must find
+// and revalidate the L2 disk segments the dead one left behind. Erasure
+// mode (encode on write) plus a 1 MiB L1 budget force the shards onto disk
+// deterministically; the observable is the restarted server's
+// RestoredRecords counter, which only the open-time disk scan increments.
+func TestProcessKillRestartDiskRevalidation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS processes")
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 4*time.Minute)
+	defer cancel()
+	fleet, err := Start(ctx, Config{Servers: 3, Procs: 3, Mode: "erasure", StorageMemMB: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Stop()
+
+	cl, err := fleet.Client()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	client := cl.NewClient()
+
+	// Stage well past the fleet's aggregate L1 budget (48 x 256 KiB = 12 MiB
+	// of data against 1 MiB per server) so every server spills to disk.
+	ledger := NewLedger()
+	const slots, objBytes = 48, 256 << 10
+	for slot := int64(0); slot < slots; slot++ {
+		op := Op{
+			Kind:    OpPut,
+			Var:     "revive",
+			Offset:  slot * objBytes,
+			Len:     objBytes,
+			Version: 1,
+			Seed:    opSeed("revive", slot, 1),
+		}
+		box := corec.Box{Lo: []int64{op.Offset}, Hi: []int64{op.Offset + int64(op.Len)}}
+		if err := client.Put(ctx, op.Var, box, op.Version, Payload(op.Seed, op.Len)); err != nil {
+			t.Fatalf("put slot %d: %v", slot, err)
+		}
+		ledger.RecordAck(op)
+	}
+
+	victimID := corec.ServerID(2)
+	victim := fleet.ProcFor(victimID)
+	victimStats := func() (stats corec.ServerStatus, ok bool) {
+		for _, s := range client.Status(ctx) {
+			if s.ID == victimID && s.Alive {
+				return s, true
+			}
+		}
+		return corec.ServerStatus{}, false
+	}
+	waitUntil(t, 30*time.Second, "victim to spill shards onto L2 disk", func() bool {
+		s, ok := victimStats()
+		return ok && (s.Stats.Storage.Spills > 0 || s.Stats.Storage.DiskObjects > 0)
+	})
+
+	if err := fleet.Kill(victim); err != nil {
+		t.Fatalf("kill: %v", err)
+	}
+
+	// The victim's shard of every stripe is gone with its address space;
+	// reads must still succeed by reconstruction from the survivors.
+	probe := ledger.Acked()[0]
+	box := corec.Box{Lo: []int64{probe.Offset}, Hi: []int64{probe.Offset + int64(probe.Len)}}
+	rdCtx, rdCancel := context.WithTimeout(ctx, 60*time.Second)
+	if _, err := client.Get(rdCtx, probe.Var, box, probe.Version); err != nil {
+		rdCancel()
+		t.Fatalf("degraded read with victim dead: %v", err)
+	}
+	rdCancel()
+
+	if err := fleet.Restart(ctx, victim); err != nil {
+		t.Fatalf("restart: %v", err)
+	}
+
+	// The fresh process must have scanned the dead one's disk segments and
+	// restored their records into its index — the revalidation proof.
+	waitUntil(t, 60*time.Second, "restarted victim to revalidate its disk tier", func() bool {
+		s, ok := victimStats()
+		return ok && s.Stats.Storage.RestoredRecords > 0
+	})
+
+	// Full replacement recovery brings the member back to full redundancy,
+	// and every acked write must come back byte-exact: zero data loss.
+	recCtx, recCancel := context.WithTimeout(ctx, 2*time.Minute)
+	defer recCancel()
+	if _, err := client.RecoverServer(recCtx, victimID, corec.RecoveryAggressive); err != nil {
+		t.Fatalf("recovery of server %d: %v", victimID, err)
+	}
+	lost, corrupt, err := VerifyLedger(ctx, cl, ledger)
+	if err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	if lost != 0 || corrupt != 0 {
+		t.Fatalf("after kill+restart: %d lost, %d corrupt of %d acked writes", lost, corrupt, ledger.Len())
+	}
+}

@@ -1,0 +1,283 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"corec"
+	"corec/internal/metrics"
+)
+
+// Open-loop load generation. The generator fixes every operation's
+// intended start time from the arrival process alone — a constant-rate
+// schedule or a Poisson process — before the run begins, and dispatches
+// each operation no earlier than its intended time regardless of how the
+// service is keeping up. Latency is recorded as completion minus INTENDED
+// start, not minus actual send: when the service stalls, queued operations
+// accumulate the stall in their recorded latency instead of silently
+// shifting the schedule. This is the standard defence against coordinated
+// omission, where a closed-loop generator pauses with the server and the
+// recorded tail misses exactly the moments that matter.
+
+// Arrival selects the inter-arrival process.
+type Arrival int
+
+const (
+	// ArrivalConstant spaces operations exactly 1/rate apart.
+	ArrivalConstant Arrival = iota
+	// ArrivalPoisson draws exponential inter-arrival gaps with mean
+	// 1/rate: bursty, memoryless, the classic open-system model.
+	ArrivalPoisson
+)
+
+// OpKind is the operation type.
+type OpKind int
+
+const (
+	// OpPut stages a payload.
+	OpPut OpKind = iota
+	// OpGet reads a previously staged region.
+	OpGet
+)
+
+// Op is one generated operation against the byte-addressed 1-D staging
+// space (ElemSize 1, the corec-cli convention).
+type Op struct {
+	Kind    OpKind
+	Var     string
+	Offset  int64
+	Len     int
+	Version corec.Version
+	// Seed determines the payload bytes for puts (see Payload), letting
+	// the verifier recompute what must come back without storing copies.
+	Seed int64
+}
+
+// Payload expands a seed into the deterministic payload for an op, using
+// a splitmix64 stream so a single int64 pins every byte.
+func Payload(seed int64, n int) []byte {
+	out := make([]byte, n)
+	x := uint64(seed)
+	for i := 0; i < n; i += 8 {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		for j := 0; j < 8 && i+j < n; j++ {
+			out[i+j] = byte(z >> (8 * j))
+		}
+	}
+	return out
+}
+
+// LoadConfig shapes one open-loop run.
+type LoadConfig struct {
+	// Rate is the offered load in operations per second.
+	Rate float64
+	// Duration bounds the arrival schedule; operations whose intended
+	// start falls inside it are offered.
+	Duration time.Duration
+	// Arrival selects the inter-arrival process.
+	Arrival Arrival
+	// Workers bounds in-flight operations. Excess arrivals queue, and
+	// their queueing delay is charged to recorded latency (open loop).
+	Workers int
+	// Seed drives the arrival draws and the operation mix.
+	Seed int64
+	// NextOp produces the i-th operation of the run.
+	NextOp func(i int64, rng *rand.Rand) Op
+}
+
+// LoadResult summarizes one open-loop run.
+type LoadResult struct {
+	// Offered counts scheduled operations; Completed and Failed partition
+	// the ones that ran (Offered = Completed + Failed once the run ends).
+	Offered, Completed, Failed int64
+	// Elapsed is wall-clock from first intended start to last completion.
+	Elapsed time.Duration
+	// Lat is the coordinated-omission-safe latency distribution over all
+	// completed operations; PutLat and GetLat split it by kind.
+	Lat, PutLat, GetLat *metrics.Histogram
+}
+
+// OfferedRate returns the configured arrival rate realised by the run.
+func (r *LoadResult) OfferedRate() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Offered) / r.Elapsed.Seconds()
+}
+
+// AchievedRate returns completed operations per wall-clock second.
+func (r *LoadResult) AchievedRate() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Completed) / r.Elapsed.Seconds()
+}
+
+// Ledger records every acknowledged write so a verifier can later prove
+// none was lost. Safe for concurrent use.
+type Ledger struct {
+	mu   sync.Mutex
+	acks map[string]Op
+}
+
+// NewLedger returns an empty acked-write ledger.
+func NewLedger() *Ledger { return &Ledger{acks: make(map[string]Op)} }
+
+func ledgerKey(op Op) string {
+	return fmt.Sprintf("%s/%d+%d@%d", op.Var, op.Offset, op.Len, op.Version)
+}
+
+// RecordAck notes one acknowledged put. Later acks for the same region and
+// version overwrite (idempotent rewrites keep the newest seed).
+func (l *Ledger) RecordAck(op Op) {
+	l.mu.Lock()
+	l.acks[ledgerKey(op)] = op
+	l.mu.Unlock()
+}
+
+// Acked returns a snapshot of every acknowledged write, in a
+// deterministic order so verification sweeps (and their failure logs)
+// are reproducible across runs.
+func (l *Ledger) Acked() []Op {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	keys := make([]string, 0, len(l.acks))
+	for k := range l.acks {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]Op, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, l.acks[k])
+	}
+	return out
+}
+
+// Len returns the number of distinct acknowledged writes.
+func (l *Ledger) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.acks)
+}
+
+// timedOp carries an operation with its intended start offset.
+type timedOp struct {
+	op       Op
+	intended time.Duration // offset from run start
+}
+
+// RunLoad executes one open-loop run against the cluster handle. Acked
+// puts are recorded into ledger (nil skips recording). The run drains: it
+// returns only after every offered operation completed or failed, so tail
+// latencies of a stalled service are fully observed.
+func RunLoad(ctx context.Context, cl *corec.Cluster, cfg LoadConfig, ledger *Ledger) *LoadResult {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 16
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Fix the whole arrival schedule up front: intended times depend only
+	// on the arrival process, never on service behaviour.
+	var schedule []timedOp
+	gap := 1.0 / cfg.Rate
+	at := 0.0
+	for i := int64(0); ; i++ {
+		if cfg.Arrival == ArrivalPoisson {
+			at += rng.ExpFloat64() * gap
+		} else if i > 0 {
+			at += gap
+		}
+		if at >= cfg.Duration.Seconds() {
+			break
+		}
+		schedule = append(schedule, timedOp{
+			op:       cfg.NextOp(i, rng),
+			intended: time.Duration(at * float64(time.Second)),
+		})
+	}
+
+	res := &LoadResult{
+		Offered: int64(len(schedule)),
+		Lat:     metrics.NewHistogram(),
+		PutLat:  metrics.NewHistogram(),
+		GetLat:  metrics.NewHistogram(),
+	}
+	// The queue holds the full schedule, so the dispatcher never blocks on
+	// slow workers: arrivals stay on time and queueing delay lands in the
+	// recorded latency, which is the whole point.
+	queue := make(chan timedOp, len(schedule))
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := cl.NewClient()
+			for t := range queue {
+				err := execOp(ctx, client, t.op)
+				lat := time.Since(start) - t.intended
+				mu.Lock()
+				if err != nil {
+					res.Failed++
+				} else {
+					res.Completed++
+					res.Lat.Record(lat)
+					if t.op.Kind == OpPut {
+						res.PutLat.Record(lat)
+					} else {
+						res.GetLat.Record(lat)
+					}
+				}
+				mu.Unlock()
+				if err == nil && t.op.Kind == OpPut && ledger != nil {
+					ledger.RecordAck(t.op)
+				}
+			}
+		}()
+	}
+	for _, t := range schedule {
+		if d := t.intended - time.Since(start); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+			}
+		}
+		queue <- t
+	}
+	close(queue)
+	wg.Wait()
+	res.Elapsed = time.Since(start)
+	return res
+}
+
+func execOp(ctx context.Context, client *corec.Client, op Op) error {
+	box := corec.Box{Lo: []int64{op.Offset}, Hi: []int64{op.Offset + int64(op.Len)}}
+	opCtx, cancel := context.WithTimeout(ctx, 30*time.Second)
+	defer cancel()
+	switch op.Kind {
+	case OpPut:
+		return client.Put(opCtx, op.Var, box, op.Version, Payload(op.Seed, op.Len))
+	default:
+		_, err := client.Get(opCtx, op.Var, box, op.Version)
+		return err
+	}
+}
+
+// Quantile is a convenience wrapper exposing a histogram quantile in
+// float64 milliseconds for report rows.
+func Quantile(h *metrics.Histogram, q float64) float64 {
+	return float64(h.Quantile(q)) / float64(time.Millisecond)
+}
+
+// round2 keeps report floats readable.
+func round2(v float64) float64 { return math.Round(v*100) / 100 }

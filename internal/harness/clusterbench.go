@@ -1,0 +1,107 @@
+package harness
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"corec/internal/cluster"
+)
+
+// The cluster experiment is the only one that leaves the test process: it
+// builds the real corec-server binary, spawns a fleet of OS processes
+// that self-assemble over TCP+gossip into one staging service, offers
+// open-loop load with coordinated-omission-safe latency recording, and
+// reports SLO rows per scenario x fault arm. The kill-restart arm SIGKILLs
+// a process mid-run (address space and L1 gone), restarts it, drives full
+// replacement recovery over the wire, and proves zero acknowledged writes
+// were lost.
+
+// ClusterBenchReport is the BENCH_cluster.json artifact.
+type ClusterBenchReport struct {
+	GOMAXPROCS int                  `json:"gomaxprocs"`
+	Quick      bool                 `json:"quick"`
+	Rows       []*cluster.RunReport `json:"rows"`
+}
+
+// clusterScenarios returns the scenario matrix. quick trims fleet size,
+// rates and durations to a CI-friendly smoke run (3 servers, 3 processes,
+// a few seconds per cell); the full matrix runs 8 servers over 4
+// processes at higher offered rates.
+func clusterScenarios(quick bool) []cluster.Scenario {
+	if quick {
+		return []cluster.Scenario{
+			{
+				// S3D-style bursts: larger objects, Poisson arrivals, a
+				// step boundary closing mid-run.
+				Name: "s3d-burst", Servers: 3, Procs: 3,
+				Rate: 60, Duration: 3 * time.Second, Arrival: cluster.ArrivalPoisson,
+				ObjectBytes: 16 << 10, Slots: 48, GetFraction: 0.1,
+				StepEvery: time.Second,
+			},
+			{
+				// Uniform small-object churn: 1 KiB puts/gets.
+				Name: "small-churn", Servers: 3, Procs: 3,
+				Rate: 150, Duration: 3 * time.Second, Arrival: cluster.ArrivalConstant,
+				ObjectBytes: 1 << 10, Slots: 128, GetFraction: 0.3,
+			},
+			{
+				// Read-heavy analysis storm over a preloaded set, with the
+				// anti-entropy scrubber running underneath.
+				Name: "read-storm", Servers: 3, Procs: 3, Scrub: true,
+				Rate: 150, Duration: 3 * time.Second, Arrival: cluster.ArrivalPoisson,
+				ObjectBytes: 4 << 10, Slots: 96, GetFraction: 0.9,
+			},
+		}
+	}
+	return []cluster.Scenario{
+		{
+			Name: "s3d-burst", Servers: 8, Procs: 4,
+			Rate: 200, Duration: 10 * time.Second, Arrival: cluster.ArrivalPoisson,
+			ObjectBytes: 64 << 10, Slots: 192, GetFraction: 0.1,
+			StepEvery: 2 * time.Second,
+		},
+		{
+			Name: "small-churn", Servers: 8, Procs: 4,
+			Rate: 600, Duration: 10 * time.Second, Arrival: cluster.ArrivalConstant,
+			ObjectBytes: 1 << 10, Slots: 512, GetFraction: 0.3,
+		},
+		{
+			Name: "read-storm", Servers: 8, Procs: 4, Scrub: true,
+			Rate: 600, Duration: 10 * time.Second, Arrival: cluster.ArrivalPoisson,
+			ObjectBytes: 4 << 10, Slots: 384, GetFraction: 0.9,
+		},
+	}
+}
+
+// RunClusterBench runs every scenario under both fault arms against fresh
+// multi-process fleets.
+func RunClusterBench(quick bool) (*ClusterBenchReport, error) {
+	rep := &ClusterBenchReport{GOMAXPROCS: runtime.GOMAXPROCS(0), Quick: quick}
+	ctx := context.Background()
+	for _, sc := range clusterScenarios(quick) {
+		for _, arm := range []cluster.FaultArm{cluster.FaultNone, cluster.FaultKillRestart} {
+			row, err := cluster.RunScenario(ctx, sc, arm)
+			if err != nil {
+				return nil, fmt.Errorf("cluster bench %s/%s: %w", sc.Name, arm, err)
+			}
+			rep.Rows = append(rep.Rows, row)
+		}
+	}
+	return rep, nil
+}
+
+// WriteClusterBench renders the report as the human-readable companion to
+// the JSON artifact.
+func WriteClusterBench(w io.Writer, rep *ClusterBenchReport) {
+	fmt.Fprintf(w, "Multi-process cluster SLOs (GOMAXPROCS=%d, quick=%v)\n", rep.GOMAXPROCS, rep.Quick)
+	fmt.Fprintf(w, "%-12s %-13s %-5s %-9s %-9s %-8s %-8s %-8s %-6s %-6s %s\n",
+		"scenario", "arm", "srv", "offer/s", "ach/s", "p50ms", "p99ms", "p999ms", "fail", "lost", "degraded-p99ms")
+	for _, r := range rep.Rows {
+		fmt.Fprintf(w, "%-12s %-13s %-5d %-9.1f %-9.1f %-8.2f %-8.2f %-8.2f %-6d %-6d %.2f\n",
+			r.Scenario, r.Arm, r.Servers, r.OfferedRate, r.AchievedRate,
+			r.P50Ms, r.P99Ms, r.P999Ms, r.FailedOps, r.LostObjects, r.DegradedP99Ms)
+	}
+}

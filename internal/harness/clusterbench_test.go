@@ -1,0 +1,63 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"corec/internal/cluster"
+)
+
+// TestClusterBenchQuick runs the full quick scenario matrix — real
+// multi-process fleets, open-loop load, the kill-restart fault arm — and
+// checks the SLO invariants every BENCH_cluster.json row must satisfy.
+// This is the CI face of the cluster harness.
+func TestClusterBenchQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns OS process fleets")
+	}
+	rep, err := RunClusterBench(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantRows := len(clusterScenarios(true)) * 2 // x fault arms
+	if len(rep.Rows) != wantRows {
+		t.Fatalf("got %d rows, want %d (scenarios x fault arms)", len(rep.Rows), wantRows)
+	}
+	for _, r := range rep.Rows {
+		if r.OfferedOps == 0 || r.CompletedOps == 0 {
+			t.Errorf("%s/%s: empty run (offered=%d completed=%d)", r.Scenario, r.Arm, r.OfferedOps, r.CompletedOps)
+		}
+		if r.OfferedRate <= 0 || r.AchievedRate <= 0 {
+			t.Errorf("%s/%s: rates not recorded (offered=%.1f achieved=%.1f)", r.Scenario, r.Arm, r.OfferedRate, r.AchievedRate)
+		}
+		if r.P50Ms <= 0 || r.P99Ms < r.P50Ms || r.P999Ms < r.P99Ms {
+			t.Errorf("%s/%s: latency quantiles not monotone (p50=%.2f p99=%.2f p999=%.2f)", r.Scenario, r.Arm, r.P50Ms, r.P99Ms, r.P999Ms)
+		}
+		if r.AckedWrites == 0 {
+			t.Errorf("%s/%s: no acknowledged writes in the ledger", r.Scenario, r.Arm)
+		}
+		// The headline invariant: no acknowledged write may ever be lost or
+		// corrupted, in either arm.
+		if r.LostObjects != 0 || r.CorruptObjects != 0 {
+			t.Errorf("%s/%s: %d lost, %d corrupt of %d acked writes", r.Scenario, r.Arm, r.LostObjects, r.CorruptObjects, r.AckedWrites)
+		}
+		switch r.Arm {
+		case string(cluster.FaultKillRestart):
+			if len(r.KilledServers) == 0 {
+				t.Errorf("%s/%s: fault arm killed no servers", r.Scenario, r.Arm)
+			}
+		case string(cluster.FaultNone):
+			if len(r.KilledServers) != 0 {
+				t.Errorf("%s/%s: fault-free arm killed servers %v", r.Scenario, r.Arm, r.KilledServers)
+			}
+		}
+	}
+
+	var sb strings.Builder
+	WriteClusterBench(&sb, rep)
+	for _, want := range []string{"s3d-burst", "small-churn", "read-storm", "kill-restart"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("report output missing %q:\n%s", want, sb.String())
+		}
+	}
+}

@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestHistogramBucketRoundTrip verifies the index/value pair stays within
+// the designed relative error across the dynamic range.
+func TestHistogramBucketRoundTrip(t *testing.T) {
+	for _, v := range []int64{0, 1, 63, 64, 65, 1000, 4095, 4096, 1 << 20, 1<<40 + 12345} {
+		idx := hdrIndex(v)
+		got := hdrValue(idx)
+		if v < hdrSubBuckets {
+			if got != v {
+				t.Fatalf("small value %d: round-trip %d", v, got)
+			}
+			continue
+		}
+		rel := math.Abs(float64(got-v)) / float64(v)
+		if rel > 1.0/hdrSubBuckets {
+			t.Fatalf("value %d: bucket midpoint %d, rel err %.4f > %.4f", v, got, rel, 1.0/hdrSubBuckets)
+		}
+	}
+}
+
+// TestHistogramMonotoneIndex: bucket index never decreases with value, so
+// cumulative quantile walks are order-correct.
+func TestHistogramMonotoneIndex(t *testing.T) {
+	prev := -1
+	for v := int64(0); v < 1<<14; v++ {
+		idx := hdrIndex(v)
+		if idx < prev {
+			t.Fatalf("index regressed at %d: %d < %d", v, idx, prev)
+		}
+		prev = idx
+	}
+}
+
+// TestHistogramQuantiles checks quantile estimates against an exact sorted
+// sample within bucket resolution.
+func TestHistogramQuantiles(t *testing.T) {
+	h := NewHistogram()
+	rng := rand.New(rand.NewSource(7))
+	const n = 200000
+	vals := make([]int64, n)
+	for i := range vals {
+		// Log-uniform over [1us, 1s]: exercises many magnitudes.
+		v := int64(math.Exp(rng.Float64()*math.Log(1e9/1e3)) * 1e3)
+		vals[i] = v
+		h.Record(time.Duration(v))
+	}
+	if h.Count() != n {
+		t.Fatalf("count %d want %d", h.Count(), n)
+	}
+	sorted := append([]int64(nil), vals...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+		want := sorted[int(q*float64(n))]
+		got := int64(h.Quantile(q))
+		rel := math.Abs(float64(got-want)) / float64(want)
+		if rel > 0.05 {
+			t.Fatalf("q%.3f: got %d want %d (rel %.4f)", q, got, want, rel)
+		}
+	}
+	if got := h.Quantile(1); got != time.Duration(sorted[n-1]) {
+		t.Fatalf("q1 = %v, want exact max %v", got, time.Duration(sorted[n-1]))
+	}
+}
+
+// TestHistogramMerge verifies merged quantiles equal recording into one.
+func TestHistogramMerge(t *testing.T) {
+	a, b, all := NewHistogram(), NewHistogram(), NewHistogram()
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 10000; i++ {
+		d := time.Duration(rng.Int63n(1e8))
+		all.Record(d)
+		if i%2 == 0 {
+			a.Record(d)
+		} else {
+			b.Record(d)
+		}
+	}
+	a.Merge(b)
+	if a.Count() != all.Count() {
+		t.Fatalf("merged count %d want %d", a.Count(), all.Count())
+	}
+	for _, q := range []float64{0.5, 0.99, 1} {
+		if a.Quantile(q) != all.Quantile(q) {
+			t.Fatalf("q%.2f: merged %v, direct %v", q, a.Quantile(q), all.Quantile(q))
+		}
+	}
+	if a.Max() != all.Max() {
+		t.Fatalf("merged max %v want %v", a.Max(), all.Max())
+	}
+}

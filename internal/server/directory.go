@@ -24,19 +24,31 @@ func (s *Server) handleMetaUpdate(req *transport.Message) *transport.Message {
 	if req.Meta == nil {
 		return transport.Errf("server %d: MetaUpdate without record", s.id)
 	}
+	// Advance the local hybrid clock past every Seq that flows through this
+	// mirror, so metas this server mints later are ordered after them even
+	// under clock skew.
+	s.observeMetaSeq(req.Meta.Seq)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	key := req.Meta.ID.Key()
 	if cur, ok := s.dir[key]; ok {
-		if cur.Version > req.Meta.Version {
-			// Stale update from a slow path; keep the newer record.
+		if cur.Version > req.Meta.Version ||
+			(cur.Version == req.Meta.Version && req.Meta.Seq < cur.Seq) {
+			// Stale update from a slow path (a delayed group write, a
+			// hinted-handoff replay, a restore snapshot overtaken by a live
+			// flip). Same-version updates are ordered by Seq; without that
+			// tie-break, concurrent state flips could land in different
+			// orders on different mirrors and leave the group permanently
+			// divergent — with some mirrors pointing at a stripe the newer
+			// flip has already dropped.
 			return transport.Ok()
 		}
 		// Restore-mode updates (directory rebuild after a failure, marked
-		// by Flag) must never clobber a live same-version record: the live
-		// record may carry a newer state transition (e.g. encoded) made
-		// while the snapshot was in flight.
-		if req.Flag && cur.Version == req.Meta.Version {
+		// by Flag) must never clobber an equally-new live record: the live
+		// record may carry a state transition made while the snapshot was
+		// in flight. A strictly newer Seq proves the restore writer holds
+		// the later record and may overwrite.
+		if req.Flag && cur.Version == req.Meta.Version && req.Meta.Seq <= cur.Seq {
 			return transport.Ok()
 		}
 	}

@@ -3,7 +3,6 @@ package server
 import (
 	"context"
 	"fmt"
-	"sync/atomic"
 	"time"
 
 	"corec/internal/erasure"
@@ -52,15 +51,22 @@ func (s *Server) encodeObject(ctx context.Context, obj *types.Object, reuse type
 	stripeID := reuse
 	if stripeID == (types.StripeID{}) {
 		// Elastic mode has no static coding-group index; the minting server's
-		// id keeps stripe ids unique per primary, and the incarnation bits
-		// keep them unique across replacements either way.
+		// id serves as the group. The sequence half is the server's hybrid
+		// logical clock with the minting server's id folded into the low
+		// byte: the clock makes ids unique across the lifetimes of one
+		// server id — including a crashed process restarted in a fresh OS
+		// process, where any in-memory counter would restart and re-mint a
+		// dead predecessor's ids, silently rebinding the stripe record (and
+		// its shard keys) that surviving objects' metadata still points at —
+		// and the id byte keeps servers sharing a static coding group from
+		// colliding when they mint in the same microsecond.
 		group := int(s.id)
 		if s.ring == nil {
 			group = s.groups.CodingGroup(s.id)
 		}
 		stripeID = types.StripeID{
 			Group: group,
-			Seq:   s.incarnation<<40 | atomic.AddUint64(&s.stripeSeq, 1),
+			Seq:   s.nextMetaSeq()<<8 | uint64(s.id)&0xff,
 		}
 	}
 
@@ -343,6 +349,18 @@ func (s *Server) EndTimeStep(ctx context.Context, ts types.Version) (demoted, pr
 		}
 	}
 	return demoted, promoted
+}
+
+// handleStepEnd runs end-of-step processing on behalf of a remote driver
+// (MsgStepEnd): the multi-process analogue of Cluster.EndTimeStep, which
+// only reaches in-process servers. The reply is sent after the background
+// encode queue drains, so a step boundary observed over the wire is the
+// same consistent point the in-process path provides. Num carries
+// demotions<<32|promotions.
+func (s *Server) handleStepEnd(ctx context.Context, req *transport.Message) *transport.Message {
+	demoted, promoted := s.EndTimeStep(ctx, req.Version)
+	s.WaitEncodeIdle()
+	return &transport.Message{Kind: transport.MsgOK, Num: int64(demoted)<<32 | int64(promoted)}
 }
 
 // promotionBudget estimates how many encoded objects can be promoted to

@@ -299,6 +299,10 @@ func (s *Server) refreshEncodedBookkeeping(meta *types.ObjectMeta, info *types.S
 func (s *Server) dirLookupMeta(ctx context.Context, key string) (*types.ObjectMeta, bool) {
 	start := time.Now()
 	defer func() { s.col.Add(metrics.Metadata, time.Since(start)) }()
+	// Consult every mirror and keep the newest record: a mirror that lagged
+	// behind a same-version state flip would otherwise feed recovery a
+	// record pointing at resources the flip already released.
+	var best *types.ObjectMeta
 	for _, t := range s.dirGroup(key) {
 		var resp *transport.Message
 		var err error
@@ -309,10 +313,25 @@ func (s *Server) dirLookupMeta(ctx context.Context, key string) (*types.ObjectMe
 			resp, err = s.sendRetry(ctx, t, msg)
 		}
 		if err == nil && resp.Kind == transport.MsgOK && resp.Flag {
-			return resp.Meta, true
+			if best == nil || resp.Meta.Version > best.Version ||
+				(resp.Meta.Version == best.Version && resp.Meta.Seq > best.Seq) {
+				best = resp.Meta
+			}
 		}
 	}
-	return nil, false
+	return best, best != nil
+}
+
+// handleRecoverAll runs the full replacement-server recovery protocol on
+// behalf of a remote driver (MsgRecoverAll). Num selects the recovery mode;
+// the reply returns the repair count, so a fleet harness restarting a
+// crashed process can block until the restarted member is whole again.
+func (s *Server) handleRecoverAll(ctx context.Context, req *transport.Message) *transport.Message {
+	repaired, err := s.RunRecovery(ctx, recovery.Mode(req.Num))
+	if err != nil {
+		return transport.Errf("server %d: recover-all: %v", s.id, err)
+	}
+	return &transport.Message{Kind: transport.MsgOK, Num: int64(repaired)}
 }
 
 // RunRecovery executes the replacement-server recovery protocol after this

@@ -147,13 +147,12 @@ type Server struct {
 	mirrorHints map[string]mirrorHint
 	// tokenBusy is the encoding token of the replication group this server
 	// leads (only meaningful on group leaders).
-	tokenBusy bool
-	// stripeSeq mints stripe IDs for objects this server encodes. The high
-	// bits carry the server's incarnation so a replacement server never
-	// reuses stripe IDs minted by its failed predecessor (a collision
-	// would let a later stripe drop destroy an older object's shards).
-	stripeSeq   uint64
+	tokenBusy   bool
 	incarnation uint64
+	// metaClock mints ObjectMeta.Seq values: a hybrid logical clock
+	// (physical microseconds, clamped monotonic, merged with every Seq
+	// observed in incoming directory updates). Accessed atomically.
+	metaClock uint64
 	// dataRepl/dataEnc account primary-object bytes by state for the
 	// storage-efficiency constraint.
 	dataRepl int64
@@ -509,6 +508,10 @@ func (s *Server) Handle(ctx context.Context, req *transport.Message) *transport.
 		return s.handleTokenRelease(req)
 	case transport.MsgRecover:
 		return s.handleRecover(ctx, req)
+	case transport.MsgStepEnd:
+		return s.handleStepEnd(ctx, req)
+	case transport.MsgRecoverAll:
+		return s.handleRecoverAll(ctx, req)
 	case transport.MsgStats:
 		return s.handleStats(req)
 	case transport.MsgChecksum:
@@ -606,6 +609,37 @@ func (s *Server) MutationSeq() uint64 { return s.mutations.Load() }
 // replacement reusing its logical ID, so cached per-server checkpoint
 // state never survives a Replace.
 func (s *Server) Incarnation() uint64 { return s.incarnation }
+
+// nextMetaSeq mints a directory-update sequence number: a hybrid logical
+// timestamp that is strictly increasing on this server and at least as
+// large as every Seq the server has observed. Physical time makes mints
+// comparable across servers (a failover primary's first flip orders after
+// the dead primary's last one without any handshake); the clamp keeps the
+// clock monotonic through bursts and backward clock steps.
+func (s *Server) nextMetaSeq() uint64 {
+	now := uint64(time.Now().UnixMicro())
+	for {
+		cur := atomic.LoadUint64(&s.metaClock)
+		next := now
+		if next <= cur {
+			next = cur + 1
+		}
+		if atomic.CompareAndSwapUint64(&s.metaClock, cur, next) {
+			return next
+		}
+	}
+}
+
+// observeMetaSeq merges a Seq seen in an incoming directory update into the
+// local clock, the logical half of the hybrid timestamp.
+func (s *Server) observeMetaSeq(seq uint64) {
+	for {
+		cur := atomic.LoadUint64(&s.metaClock)
+		if seq <= cur || atomic.CompareAndSwapUint64(&s.metaClock, cur, seq) {
+			return
+		}
+	}
+}
 
 // SerializeStore flattens every locally held payload (full objects,
 // replicas, shards) into one byte stream — the data a coordinated

@@ -218,6 +218,7 @@ func (s *Server) buildMeta(id types.ObjectID, v types.Version, size int, st type
 	return &types.ObjectMeta{
 		ID:         id,
 		Version:    v,
+		Seq:        s.nextMetaSeq(),
 		Size:       size,
 		State:      st,
 		Checksum:   sum,

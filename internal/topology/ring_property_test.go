@@ -1,0 +1,135 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"corec/internal/types"
+)
+
+// arcContains reports whether the arc's key-hash range (Start, End],
+// wrapping around the ring, contains h.
+func arcContains(a Arc, h uint64) bool {
+	if a.Start < a.End {
+		return h > a.Start && h <= a.End
+	}
+	// Wrapped (or full-circle) range.
+	return h > a.Start || h <= a.End
+}
+
+// TestDynamicRingProperties drives random membership churn and checks the
+// ring's two contractual invariants on every step:
+//
+//  1. Epoch monotonicity — every effective membership change bumps the
+//     epoch by exactly one, and no-op changes (joining a member, removing
+//     a stranger) leave it untouched. Rebalancing and directory placement
+//     key off the epoch, so a silent or double bump would tear them away
+//     from the ring state they think they observed.
+//  2. Minimal movement — a join moves ownership only onto the newcomer (a
+//     leave only off the leaver), every move is reported in the returned
+//     arcs, and keys outside the reported arcs keep their owner. This is
+//     the consistent-hashing contract that keeps churn-time data motion
+//     proportional to 1/N instead of a full reshuffle.
+func TestDynamicRingProperties(t *testing.T) {
+	const keys = 512
+	sample := make([]string, keys)
+	for i := range sample {
+		sample[i] = fmt.Sprintf("obj/%d@step-%d", i, i%7)
+	}
+
+	for _, seed := range []int64{1, 7, 42} {
+		seed := seed
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			r := NewDynamicRing(16)
+			present := map[types.ServerID]bool{}
+
+			owners := func() map[string]types.ServerID {
+				m := make(map[string]types.ServerID, keys)
+				if r.Size() == 0 {
+					return m
+				}
+				for _, k := range sample {
+					m[k] = r.OwnerKey(k)
+				}
+				return m
+			}
+
+			before := owners()
+			for step := 0; step < 200; step++ {
+				id := types.ServerID(rng.Intn(24))
+				epochBefore := r.Epoch()
+				var (
+					epoch   uint64
+					arcs    []Arc
+					join    bool
+					noop    bool
+					subject = id
+				)
+				if rng.Intn(2) == 0 {
+					join = true
+					noop = present[id]
+					epoch, arcs = r.Join(id, rng.Intn(4))
+					present[id] = true
+				} else {
+					noop = !present[id]
+					epoch, arcs = r.Leave(id)
+					delete(present, id)
+				}
+
+				if noop {
+					if epoch != epochBefore || len(arcs) != 0 {
+						t.Fatalf("step %d: no-op change bumped epoch %d->%d with %d arcs", step, epochBefore, epoch, len(arcs))
+					}
+					continue
+				}
+				if epoch != epochBefore+1 {
+					t.Fatalf("step %d: epoch moved %d->%d on one membership change", step, epochBefore, epoch)
+				}
+				if got := r.Epoch(); got != epoch {
+					t.Fatalf("step %d: Epoch() = %d, change reported %d", step, got, epoch)
+				}
+
+				for _, a := range arcs {
+					if join && a.To != subject {
+						t.Fatalf("step %d: join of %d reported an arc moving to %d", step, subject, a.To)
+					}
+					if !join && a.From != subject {
+						t.Fatalf("step %d: leave of %d reported an arc moving from %d", step, subject, a.From)
+					}
+				}
+
+				after := owners()
+				for _, k := range sample {
+					oldOwner, hadOld := before[k]
+					newOwner, hasNew := after[k]
+					if !hadOld || !hasNew || oldOwner == newOwner {
+						continue
+					}
+					// Ownership moved: only onto a joiner / off a leaver...
+					if join && newOwner != subject {
+						t.Fatalf("step %d: join of %d moved key %q from %d to %d", step, subject, k, oldOwner, newOwner)
+					}
+					if !join && oldOwner != subject {
+						t.Fatalf("step %d: leave of %d moved key %q from %d to %d", step, subject, k, oldOwner, newOwner)
+					}
+					// ...and every move must be covered by a reported arc
+					// with matching endpoints.
+					h := keyHash(k)
+					covered := false
+					for _, a := range arcs {
+						if arcContains(a, h) && a.From == oldOwner && a.To == newOwner {
+							covered = true
+							break
+						}
+					}
+					if !covered {
+						t.Fatalf("step %d: key %q moved %d->%d outside the reported arcs", step, k, oldOwner, newOwner)
+					}
+				}
+				before = after
+			}
+		})
+	}
+}

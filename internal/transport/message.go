@@ -72,6 +72,11 @@ const (
 	MsgGossip  // membership update exchange (Flag = pull a full snapshot)
 	MsgHandoff // primary relinquish after migration moved Key elsewhere
 
+	// Fleet control plane (multi-process deployments, driven by the
+	// cluster harness and corec-cli).
+	MsgStepEnd    // run end-of-step processing for time step Version on the receiver
+	MsgRecoverAll // run full replacement-server recovery (Num = recovery.Mode)
+
 	kindCount // sentinel; keep last
 )
 
@@ -83,6 +88,7 @@ var kindNames = [...]string{
 	"TokenAcquire", "TokenRelease", "LoadQuery", "Ping", "Recover", "Stats",
 	"Checksum", "ShardSum",
 	"PingReq", "Gossip", "Handoff",
+	"StepEnd", "RecoverAll",
 }
 
 // String implements fmt.Stringer.

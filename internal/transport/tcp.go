@@ -8,6 +8,7 @@ import (
 	"hash/crc32"
 	"io"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -370,6 +371,10 @@ type TCPNetwork struct {
 	pool    map[types.ServerID][]net.Conn
 	// listenAddr is the host/interface used for locally hosted servers.
 	listenAddr string
+	// portBase, when > 0, pins server id's listener to port portBase+id
+	// instead of an ephemeral port, so the processes of a multi-host fleet
+	// can compute each other's addresses without a coordination round.
+	portBase int
 	// redials counts requests salvaged by redialing after a pooled
 	// connection turned out to be stale (server restarted under its ID).
 	redials atomic.Int64
@@ -438,13 +443,32 @@ func (n *TCPNetwork) MuxConfig() (conns, maxInFlight int) {
 	return n.muxConns, n.maxInFlight
 }
 
+// SetPortBase pins locally registered servers to deterministic ports:
+// server id listens on listenAddr:base+id. base <= 0 restores ephemeral
+// ports. Configure before the first Register.
+func (n *TCPNetwork) SetPortBase(base int) {
+	n.mu.Lock()
+	n.portBase = base
+	n.mu.Unlock()
+}
+
+// listenPort returns the port string server id should bind.
+func (n *TCPNetwork) listenPort(id types.ServerID) string {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.portBase > 0 {
+		return strconv.Itoa(n.portBase + int(id))
+	}
+	return "0"
+}
+
 // Register implements Network: it spins up a TCP server for the handler on
-// an ephemeral port and records its address. The server mode follows the
-// fabric's discipline: pipelined when multiplexing is enabled, the seed's
-// sequential loop otherwise (so a baseline fabric measures the original
-// stack end to end).
+// an ephemeral port (or portBase+id when a port base is set) and records
+// its address. The server mode follows the fabric's discipline: pipelined
+// when multiplexing is enabled, the seed's sequential loop otherwise (so a
+// baseline fabric measures the original stack end to end).
 func (n *TCPNetwork) Register(id types.ServerID, h Handler) {
-	srv, err := newTCPServerMode(net.JoinHostPort(n.listenAddr, "0"), h, n.muxEnabled())
+	srv, err := newTCPServerMode(net.JoinHostPort(n.listenAddr, n.listenPort(id)), h, n.muxEnabled())
 	if err != nil {
 		// Registration has no error path in the interface; fail loudly.
 		panic(fmt.Sprintf("transport: cannot listen for server %d: %v", id, err))

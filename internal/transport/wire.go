@@ -70,6 +70,7 @@ func (e *encoder) meta(m *types.ObjectMeta) {
 	e.str(m.ID.Var)
 	e.box(m.ID.Box)
 	e.i64(int64(m.Version))
+	e.u64(m.Seq)
 	e.u64(uint64(m.Size))
 	e.u8(uint8(m.State))
 	e.u64(m.Checksum)
@@ -211,6 +212,7 @@ func (d *decoder) meta() types.ObjectMeta {
 	m.ID.Var = d.str()
 	m.ID.Box = d.box()
 	m.Version = types.Version(d.i64())
+	m.Seq = d.u64()
 	m.Size = int(d.u64())
 	m.State = types.ResilienceState(d.u8())
 	m.Checksum = d.u64()

@@ -137,8 +137,19 @@ func (s *StripeInfo) MemberFor(idx int) (StripeMember, bool) {
 type ObjectMeta struct {
 	ID      ObjectID
 	Version Version
-	Size    int
-	State   ResilienceState
+	// Seq orders directory updates that share a Version. The staging model
+	// allows rewrites of the same (key, version) — and the CoREC policy
+	// itself flips a record's state (replicated <-> encoded, stripe moves)
+	// without a version change — so Version alone cannot order the
+	// directory's view of a record. Seq is a hybrid logical timestamp
+	// minted by the server performing the transition: physical microseconds
+	// merged with every Seq the server has observed, so it is strictly
+	// increasing across the flips of one record even when ownership moves
+	// between servers. Mirrors reject same-version updates with a lower
+	// Seq, which keeps the shard group convergent under concurrent flips.
+	Seq   uint64
+	Size  int
+	State ResilienceState
 	// Checksum is the content checksum (scrub.Checksum) of the object's
 	// payload, the at-rest integrity authority the anti-entropy scrubber
 	// verifies copies against. Zero means "not recorded" (a record written

@@ -488,20 +488,15 @@ func TestElasticMonitorConsumesEvents(t *testing.T) {
 	defer m.Stop()
 
 	c.Kill(3)
-	deadline := time.Now().Add(5 * time.Second)
-	detected := false
-	for time.Now().Before(deadline) && !detected {
+	waitUntil(t, 5*time.Second, "monitor to surface the gossip-detected failure", func() bool {
 		c.TickMembership(ctx)
 		for _, ev := range m.Events() {
 			if ev.Kind == EventFailureDetected && ev.Server == 3 {
-				detected = true
+				return true
 			}
 		}
-		time.Sleep(time.Millisecond)
-	}
-	if !detected {
-		t.Fatalf("monitor never surfaced the gossip-detected failure; events: %+v", m.Events())
-	}
+		return false
+	})
 	// Auto-recovery replaces the server; the replacement re-enters the ring.
 	if !tickUntil(c, 2000, func() bool { return c.Ring().Contains(3) && c.Alive(3) }) {
 		t.Fatalf("auto-recovery never restored server 3")

@@ -273,7 +273,7 @@ func (c *Cluster) collectDirectory(ctx context.Context, cl *Client, bytesBucket 
 		for i := range resp.Metas {
 			meta := resp.Metas[i]
 			key := meta.ID.Key()
-			if cur, ok := best[key]; !ok || meta.Version > cur.Version {
+			if cur, ok := best[key]; !ok || metaNewer(&meta, cur) {
 				best[key] = meta.Clone()
 			}
 		}

@@ -3,6 +3,7 @@ package corec
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"sync"
 	"testing"
 	"time"
@@ -10,18 +11,17 @@ import (
 
 func waitForEvent(t *testing.T, m *Monitor, kind MonitorEventKind, server ServerID, timeout time.Duration) MonitorEvent {
 	t.Helper()
-	deadline := time.Now().Add(timeout)
-	for time.Now().Before(deadline) {
+	var found MonitorEvent
+	waitUntil(t, timeout, fmt.Sprintf("event %v for server %d (events so far: %+v)", kind, server, m.Events()), func() bool {
 		for _, ev := range m.Events() {
 			if ev.Kind == kind && ev.Server == server {
-				return ev
+				found = ev
+				return true
 			}
 		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	t.Fatalf("event %v for server %d not observed within %v; events: %+v",
-		kind, server, timeout, m.Events())
-	return MonitorEvent{}
+		return false
+	})
+	return found
 }
 
 func TestMonitorDetectsFailure(t *testing.T) {
@@ -112,14 +112,9 @@ func TestMonitorClearsManualReplacement(t *testing.T) {
 	if _, err := c.Replace(1); err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(2 * time.Second)
-	for time.Now().Before(deadline) {
-		if len(m.Dead()) == 0 {
-			return
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	t.Fatalf("monitor did not clear manually replaced server: %v", m.Dead())
+	waitUntil(t, 2*time.Second, "monitor to clear the manually replaced server", func() bool {
+		return len(m.Dead()) == 0
+	})
 }
 
 func TestMonitorEventKindString(t *testing.T) {

@@ -94,8 +94,13 @@ func TestFailureDuringRecovery(t *testing.T) {
 		done <- err
 	}()
 
-	// Second failure in the other half of the ring while recovery runs.
-	time.Sleep(20 * time.Millisecond)
+	// Second failure in the other half of the ring while recovery runs:
+	// wait until the replacement has demonstrably started pulling data so
+	// the kill lands mid-recovery, not before it.
+	waitUntil(t, 5*time.Second, "first replacement to start repopulating", func() bool {
+		st := srv.CollectStats()
+		return st.Objects+st.Replicas+st.Shards > 0
+	})
 	c.Kill(5)
 	verifySet(t, c, boxes, payloads, "during-recovery double failure")
 
@@ -134,7 +139,12 @@ func TestKillReplacementMidRecovery(t *testing.T) {
 		t.Fatal(err)
 	}
 	go srv.RunRecovery(ctx, recovery.Lazy) //nolint:errcheck // killed below
-	time.Sleep(20 * time.Millisecond)
+	// Kill the replacement only once its drain has demonstrably started, so
+	// the death lands mid-repair rather than before any work happened.
+	waitUntil(t, 5*time.Second, "replacement drain to start", func() bool {
+		st := srv.CollectStats()
+		return st.Objects+st.Replicas+st.Shards > 0
+	})
 	c.Kill(victim) // the replacement dies mid-drain
 
 	verifySet(t, c, boxes, payloads, "after replacement died")

@@ -284,6 +284,13 @@ func TestScrubConcurrentWithForeground(t *testing.T) {
 	defer c.Close()
 	ctx := context.Background()
 
+	totalPasses := func() int64 {
+		var passes int64
+		for i := 0; i < c.NumServers(); i++ {
+			passes += c.Server(types.ServerID(i)).ScrubPasses()
+		}
+		return passes
+	}
 	var wg sync.WaitGroup
 	errCh := make(chan error, 8)
 	for w := 0; w < 8; w++ {
@@ -307,7 +314,13 @@ func TestScrubConcurrentWithForeground(t *testing.T) {
 					errCh <- errMismatch(w, int(ts))
 					return
 				}
-				time.Sleep(10 * time.Millisecond) // let scrub passes interleave
+				// Let scrub passes interleave with the writes: pace on the
+				// scrubber's own progress counter (bounded, non-failing — a
+				// loaded runner just moves on) instead of a wall-clock nap.
+				start := totalPasses()
+				for d := time.Now().Add(50 * time.Millisecond); totalPasses() == start && time.Now().Before(d); {
+					time.Sleep(time.Millisecond)
+				}
 			}
 		}(w)
 	}

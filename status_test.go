@@ -57,11 +57,17 @@ func TestWaitForVersionCouplesWriterAndReader(t *testing.T) {
 	box := Box3D(0, 0, 0, 8, 8, 8)
 	data := regionData(t, box, 8, 7)
 
+	// The simulation (writer) lags the analysis (reader): hand off through a
+	// channel right before the reader blocks, rather than guessing a lag
+	// with a wall-clock sleep. WaitForVersion must be correct for either
+	// interleaving, so the handoff only needs to make the lagging order
+	// overwhelmingly likely, not guaranteed.
+	readerWaiting := make(chan struct{})
 	var wg sync.WaitGroup
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		time.Sleep(20 * time.Millisecond) // simulation lags the analysis
+		<-readerWaiting
 		writer := c.NewClient()
 		writer.Put(ctx, "coupled", box, 5, data) //nolint:errcheck
 	}()
@@ -69,6 +75,7 @@ func TestWaitForVersionCouplesWriterAndReader(t *testing.T) {
 	reader := c.NewClient()
 	waitCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
 	defer cancel()
+	close(readerWaiting)
 	metas, err := reader.WaitForVersion(waitCtx, "coupled", box, 5)
 	if err != nil {
 		t.Fatal(err)

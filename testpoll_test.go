@@ -1,0 +1,26 @@
+package corec
+
+import (
+	"testing"
+	"time"
+)
+
+// waitUntil polls cond until it holds or the timeout expires, failing the
+// test with msg on expiry. Condition polling replaces fixed wall-clock
+// sleeps in the chaos tests: a fixed sleep is simultaneously too long on a
+// healthy machine and too short on a loaded CI runner, while a poll is
+// exactly as long as the condition needs. Must be called from the test's
+// own goroutine (it fails the test on timeout).
+func waitUntil(t *testing.T, timeout time.Duration, msg string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond() {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out after %v waiting for %s", timeout, msg)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
